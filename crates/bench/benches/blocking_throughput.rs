@@ -1,0 +1,44 @@
+//! Throughput of progressive blocking: forest construction and the
+//! overlap/statistics pass of the first MR job.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pper_blocking::{build_forests, compute_signatures, presets, DatasetStats};
+use pper_datagen::PubGen;
+
+fn bench_forest_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forest_build");
+    for n in [1_000usize, 5_000, 20_000] {
+        let ds = PubGen::new(n, 1).generate();
+        let families = presets::citeseer_families();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| build_forests(black_box(&ds), black_box(&families)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let ds = PubGen::new(20_000, 2).generate();
+    let families = presets::citeseer_families();
+    c.bench_function("signatures/20k", |b| {
+        b.iter(|| compute_signatures(black_box(&ds), black_box(&families)))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataset_stats");
+    g.sample_size(20);
+    for n in [2_000usize, 10_000] {
+        let ds = PubGen::new(n, 3).generate();
+        let families = presets::citeseer_families();
+        let forests = build_forests(&ds, &families);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| DatasetStats::from_forests(black_box(&ds), &families, &forests))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_forest_build, bench_signatures, bench_stats);
+criterion_main!(benches);

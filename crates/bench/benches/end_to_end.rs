@@ -1,0 +1,28 @@
+//! End-to-end wall-clock cost of the full pipeline vs the Basic baseline —
+//! small sizes, since Criterion repeats each run many times.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pper_datagen::PubGen;
+use pper_er::{BasicApproach, BasicConfig, ErConfig, ProgressiveEr};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let ds = PubGen::new(n, 9).generate();
+        g.bench_with_input(BenchmarkId::new("ours", n), &n, |b, _| {
+            b.iter(|| ProgressiveEr::new(ErConfig::citeseer(2)).run(black_box(&ds)))
+        });
+        g.bench_with_input(BenchmarkId::new("basic_f15", n), &n, |b, _| {
+            b.iter(|| {
+                BasicApproach::new(ErConfig::citeseer(2), BasicConfig::full(15))
+                    .run(black_box(&ds))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

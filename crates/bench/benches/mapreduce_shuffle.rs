@@ -1,0 +1,72 @@
+//! MapReduce runtime overhead: shuffle throughput and spill-codec cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pper_mapreduce::prelude::*;
+use pper_mapreduce::spill::SpillStore;
+
+struct KeyMod;
+impl Mapper for KeyMod {
+    type Input = u64;
+    type Key = u64;
+    type Value = u64;
+    fn map(&self, input: &u64, _ctx: &mut TaskContext, out: &mut Emitter<u64, u64>) {
+        out.emit(input % 1024, *input);
+    }
+}
+
+struct Count;
+impl Reducer for Count {
+    type Key = u64;
+    type Value = u64;
+    type Output = (u64, u64);
+    fn reduce(
+        &self,
+        key: &u64,
+        values: Vec<u64>,
+        _ctx: &mut TaskContext,
+        out: &mut Vec<(u64, u64)>,
+    ) {
+        out.push((*key, values.len() as u64));
+    }
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mr_shuffle");
+    g.sample_size(20);
+    for n in [10_000u64, 100_000] {
+        let inputs: Vec<u64> = (0..n).collect();
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let cfg = JobConfig::new("bench", ClusterSpec::paper(4));
+            b.iter(|| {
+                run_job(
+                    black_box(&cfg),
+                    &KeyMod,
+                    &GroupReducer::new(Count),
+                    black_box(&inputs),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spill_codec(c: &mut Criterion) {
+    let records: Vec<(u32, String)> = (0..10_000u32)
+        .map(|i| (i, format!("entity-{i}-title-progressive-er")))
+        .collect();
+    c.bench_function("spill/10k_records", |b| {
+        b.iter(|| {
+            let mut store = SpillStore::new();
+            for r in &records {
+                store.push(black_box(r));
+            }
+            let back: Vec<(u32, String)> = store.drain().unwrap();
+            back.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_shuffle, bench_spill_codec);
+criterion_main!(benches);

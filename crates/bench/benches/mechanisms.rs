@@ -1,0 +1,63 @@
+//! Mechanism comparison: how quickly SN-with-hint and PSNM surface the
+//! duplicates of one block, and their raw pair-enumeration overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pper_progressive::{Mechanism, PairSource, Psnm, SnHint};
+
+/// Synthetic block: `n` entities, every run of `cluster` adjacent ids is a
+/// duplicate cluster in sort order.
+fn is_dup(cluster: u32, a: u32, b: u32) -> bool {
+    a / cluster == b / cluster
+}
+
+fn drain<M: Mechanism>(mech: &M, n: u32, window: usize, cluster: u32) -> u64 {
+    let mut run = mech.start((0..n).collect(), window);
+    let mut found = 0;
+    while let Some((a, b)) = run.next_pair() {
+        let dup = is_dup(cluster, a, b);
+        run.feedback(dup);
+        found += u64::from(dup);
+    }
+    found
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanism_drain");
+    for n in [256u32, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("sn", n), &n, |b, &n| {
+            b.iter(|| drain(&SnHint, black_box(n), 15, 4))
+        });
+        g.bench_with_input(BenchmarkId::new("psnm", n), &n, |b, &n| {
+            b.iter(|| drain(&Psnm::default(), black_box(n), 15, 4))
+        });
+    }
+    g.finish();
+}
+
+/// Duplicates found within the first `budget` comparisons — the
+/// progressiveness microcosm of the two mechanisms.
+fn early_duplicates<M: Mechanism>(mech: &M, n: u32, budget: usize) -> u64 {
+    let mut run = mech.start((0..n).collect(), 30);
+    let mut found = 0;
+    for _ in 0..budget {
+        let Some((a, b)) = run.next_pair() else { break };
+        let dup = is_dup(5, a, b);
+        run.feedback(dup);
+        found += u64::from(dup);
+    }
+    found
+}
+
+fn bench_early_recall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mechanism_early_budget2k");
+    g.bench_function("sn", |b| {
+        b.iter(|| early_duplicates(&SnHint, black_box(2048), 2000))
+    });
+    g.bench_function("psnm", |b| {
+        b.iter(|| early_duplicates(&Psnm::default(), black_box(2048), 2000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_early_recall);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Cost of generating the progressive schedule (§IV): estimation,
+//! identify/split iterations, and partitioning — the up-front overhead the
+//! paper's Fig. 10/11 discussion attributes the early-recall lag to.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pper_blocking::{build_forests, presets, DatasetStats};
+use pper_datagen::PubGen;
+use pper_mapreduce::CostModel;
+use pper_progressive::LevelPolicy;
+use pper_schedule::{
+    generate_schedule, EstimationContext, HeuristicProb, ScheduleConfig, TreeScheduler,
+};
+
+fn stats_for(n: usize) -> (DatasetStats, usize) {
+    let ds = PubGen::new(n, 5).generate();
+    let families = presets::citeseer_families();
+    let forests = build_forests(&ds, &families);
+    (DatasetStats::from_forests(&ds, &families, &forests), ds.len())
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate_schedule");
+    g.sample_size(20);
+    let policy = LevelPolicy::citeseer();
+    let cm = CostModel::default();
+    let prob = HeuristicProb::default();
+    for n in [2_000usize, 10_000, 30_000] {
+        let (stats, size) = stats_for(n);
+        let ctx = EstimationContext {
+            dataset_size: size,
+            policy: &policy,
+            cost_model: &cm,
+            prob: &prob,
+        };
+        for (name, scheduler) in [
+            ("ours", TreeScheduler::Progressive),
+            ("nosplit", TreeScheduler::NoSplit),
+            ("lpt", TreeScheduler::Lpt),
+        ] {
+            let cfg = ScheduleConfig::new(20).with_scheduler(scheduler);
+            g.bench_with_input(
+                BenchmarkId::new(name, n),
+                &n,
+                |b, _| b.iter(|| generate_schedule(black_box(&stats), &ctx, &cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the similarity kernels — the per-pair resolve cost
+//! that dominates the paper's cost model (§IV-B).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pper_simil::{
+    jaccard_tokens, jaro_winkler, levenshtein, levenshtein_bounded, qgram_similarity,
+};
+
+const TITLE_A: &str = "parallel progressive approach to entity resolution using mapreduce";
+const TITLE_B: &str = "paralel progresive aproach to entity resolution using map reduce";
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let mut g = c.benchmark_group("levenshtein");
+    for len in [16usize, 64, 256] {
+        let a: String = TITLE_A.chars().cycle().take(len).collect();
+        let b: String = TITLE_B.chars().cycle().take(len).collect();
+        g.bench_with_input(BenchmarkId::new("full", len), &len, |bench, _| {
+            bench.iter(|| levenshtein(black_box(&a), black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("bounded8", len), &len, |bench, _| {
+            bench.iter(|| levenshtein_bounded(black_box(&a), black_box(&b), 8))
+        });
+    }
+    g.finish();
+}
+
+fn bench_other_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| jaro_winkler(black_box(TITLE_A), black_box(TITLE_B)))
+    });
+    g.bench_function("jaccard_tokens", |b| {
+        b.iter(|| jaccard_tokens(black_box(TITLE_A), black_box(TITLE_B)))
+    });
+    g.bench_function("qgram2", |b| {
+        b.iter(|| qgram_similarity(black_box(TITLE_A), black_box(TITLE_B), 2))
+    });
+    g.finish();
+}
+
+fn bench_match_rule(c: &mut Criterion) {
+    use pper_simil::{AttributeSim, MatchRule, WeightedAttr};
+    let rule = MatchRule::new(
+        vec![
+            WeightedAttr::new(0, 0.55, AttributeSim::Levenshtein { max_chars: None }),
+            WeightedAttr::new(
+                1,
+                0.25,
+                AttributeSim::Levenshtein {
+                    max_chars: Some(350),
+                },
+            ),
+            WeightedAttr::new(2, 0.20, AttributeSim::Levenshtein { max_chars: None }),
+        ],
+        0.82,
+    );
+    let a = vec![
+        TITLE_A.to_string(),
+        TITLE_A.repeat(6),
+        "ICDE".to_string(),
+    ];
+    let b = vec![
+        TITLE_B.to_string(),
+        TITLE_B.repeat(6),
+        "ICDE".to_string(),
+    ];
+    c.bench_function("match_rule/citeseer", |bench| {
+        bench.iter(|| rule.matches(black_box(&a), black_box(&b)))
+    });
+}
+
+criterion_group!(benches, bench_levenshtein, bench_other_kernels, bench_match_rule);
+criterion_main!(benches);

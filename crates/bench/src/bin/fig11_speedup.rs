@@ -1,0 +1,68 @@
+//! Fig. 11: recall speedup versus machine count (§VI-B4).
+//!
+//! For each recall level ρ ∈ {0.1, …, 0.9}, the speedup at μ machines is
+//! `t₅(ρ) / t_μ(ρ)` — the cost at which the 5-machine run reaches ρ divided
+//! by the cost at which the μ-machine run does. The paper's observations:
+//! speedup grows with μ, and is better for *higher* recall values because
+//! the fixed preprocessing cost (first job + schedule generation) dominates
+//! the early part of the run.
+//!
+//! ```sh
+//! cargo run --release -p pper-bench --bin fig11_speedup -- --entities 30000
+//! ```
+
+use pper_bench::{ExpOptions, Figure, Series};
+use pper_datagen::BookGen;
+use pper_er::{metrics::speedup_at, ErConfig, ProgressiveEr};
+
+fn main() {
+    let opts = ExpOptions::from_args(30_000);
+    eprintln!("generating {} book entities…", opts.entities);
+    let ds = BookGen::new(opts.entities, opts.seed).generate();
+
+    let machine_counts: &[usize] = if opts.quick { &[5, 10] } else { &[5, 10, 15, 20, 25] };
+    let recalls: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+
+    let mut runs = Vec::new();
+    for &machines in machine_counts {
+        eprintln!("running with μ = {machines}…");
+        let result = ProgressiveEr::new(ErConfig::books(machines)).run(&ds);
+        runs.push((machines, result));
+    }
+    let base = &runs[0].1; // μ = 5 reference
+
+    // One series per recall level: speedup as a function of machine count.
+    let mut fig = Figure::new("fig11", "recall speedup relative to 5 machines");
+    for &recall in &recalls {
+        let points: Vec<(f64, f64)> = runs
+            .iter()
+            .filter_map(|(machines, result)| {
+                speedup_at(&base.curve, &result.curve, recall)
+                    .map(|s| (*machines as f64, s))
+            })
+            .collect();
+        if points.is_empty() {
+            continue;
+        }
+        let last = points.last().map_or(0.0, |p| p.1);
+        fig.push(Series {
+            label: format!("Recall = {recall:.1}"),
+            points,
+            final_recall: recall,
+            total_cost: last,
+        });
+    }
+    fig.emit(&opts.out_dir);
+
+    println!("{:>10} {:>18} {:>18}", "machines", "speedup@0.3", "speedup@0.9");
+    for (machines, result) in &runs {
+        let s3 = speedup_at(&base.curve, &result.curve, 0.3);
+        let s9 = speedup_at(&base.curve, &result.curve, 0.9);
+        println!(
+            "{:>10} {:>18} {:>18}",
+            machines,
+            s3.map_or("-".into(), |s| format!("{s:.2}")),
+            s9.map_or("-".into(), |s| format!("{s:.2}")),
+        );
+    }
+}

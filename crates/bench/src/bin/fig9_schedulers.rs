@@ -1,0 +1,57 @@
+//! Fig. 9: tree-scheduler comparison — our GENERATE-SCHEDULE vs NoSplit
+//! (ours without tree splitting) vs LPT (longest-processing-time load
+//! balancing), at μ ∈ {10, 15, 20} machines (§VI-B2).
+//!
+//! The block schedule within each task is identical across the three
+//! algorithms (utility-sorted, child-before-parent), exactly as in the
+//! paper; only the tree schedule differs.
+//!
+//! ```sh
+//! cargo run --release -p pper-bench --bin fig9_schedulers -- --entities 20000
+//! ```
+
+use pper_bench::{common_max_cost, ExpOptions, Figure, Series};
+use pper_datagen::PubGen;
+use pper_er::{ErConfig, ProgressiveEr};
+use pper_schedule::TreeScheduler;
+
+fn main() {
+    let opts = ExpOptions::from_args(20_000);
+    eprintln!("generating {} publication entities…", opts.entities);
+    let ds = PubGen::new(opts.entities, opts.seed).generate();
+
+    let machine_counts: &[usize] = if opts.quick { &[4] } else { &[10, 15, 20] };
+    for &machines in machine_counts {
+        let mut fig = Figure::new(
+            format!("fig9-mu{machines}"),
+            format!("duplicate recall vs cost, μ = {machines}"),
+        );
+        let mut runs = Vec::new();
+        for (label, scheduler) in [
+            ("LPT", TreeScheduler::Lpt),
+            ("NoSplit", TreeScheduler::NoSplit),
+            ("Our Algorithm", TreeScheduler::Progressive),
+        ] {
+            eprintln!("μ={machines}: running {label}…");
+            let config = ErConfig::citeseer(machines).with_scheduler(scheduler);
+            let result = ProgressiveEr::new(config).run(&ds);
+            runs.push((label, result));
+        }
+        let max_cost =
+            common_max_cost(&runs.iter().map(|(_, r)| r.total_cost).collect::<Vec<_>>()) * 0.6;
+        for (label, result) in &runs {
+            fig.push(Series::from_curve(*label, &result.curve, max_cost, 14));
+        }
+        fig.emit(&opts.out_dir);
+
+        // Quantify the gap like the paper's discussion: cost to reach 0.8.
+        for (label, result) in &runs {
+            let t = result.curve.time_to_recall(0.8);
+            println!(
+                "μ={machines} {label:<14} cost-to-0.8 recall: {}",
+                t.map_or("never".into(), |c| format!("{c:.0}"))
+            );
+        }
+        println!();
+    }
+}

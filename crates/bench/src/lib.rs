@@ -1,0 +1,214 @@
+//! # pper-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§VI), plus Criterion micro-benchmarks of the substrates.
+//!
+//! One binary per paper artifact (see `src/bin/`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig8_table3` | Fig. 8 + Table III — ours vs Basic (w ∈ {5,15}, Popcorn sweep) |
+//! | `fig9_schedulers` | Fig. 9 — ours vs NoSplit vs LPT at μ ∈ {10,15,20} |
+//! | `fig10_scaleup` | Fig. 10 — entities-per-machine sweep on the books dataset |
+//! | `fig11_speedup` | Fig. 11 — recall speedup vs machine count |
+//!
+//! Each binary prints a small table of series points (cost, recall) to
+//! stdout and writes machine-readable JSON next to it under `target/experiments/`.
+//! Budget knobs are exposed as CLI args: pass `--entities N` to scale the
+//! synthetic dataset and `--quick` for a fast smoke run.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use pper_er::metrics::RecallCurve;
+
+/// Parsed common CLI options for experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Synthetic dataset size.
+    pub entities: usize,
+    /// RNG seed for dataset generation.
+    pub seed: u64,
+    /// Quick smoke-test mode (tiny dataset, fewer configurations).
+    pub quick: bool,
+    /// Output directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl ExpOptions {
+    /// Parse from `std::env::args`, with the given default entity count.
+    pub fn from_args(default_entities: usize) -> Self {
+        let mut opts = Self {
+            entities: default_entities,
+            seed: 42,
+            quick: false,
+            out_dir: PathBuf::from("target/experiments"),
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--entities" => {
+                    i += 1;
+                    opts.entities = args[i].parse().expect("--entities takes a number");
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args[i].parse().expect("--seed takes a number");
+                }
+                "--quick" => {
+                    opts.quick = true;
+                    opts.entities = opts.entities.min(2_000);
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out_dir = PathBuf::from(&args[i]);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// One labelled recall-versus-cost series for a figure.
+#[derive(Debug, serde::Serialize)]
+pub struct Series {
+    /// Legend label (e.g. "Basic 0.01" or "Our Approach").
+    pub label: String,
+    /// `(cost, recall)` samples.
+    pub points: Vec<(f64, f64)>,
+    /// Final recall of the run.
+    pub final_recall: f64,
+    /// Total virtual cost of the run.
+    pub total_cost: f64,
+}
+
+impl Series {
+    /// Sample a curve at `steps` points up to `max_cost`.
+    pub fn from_curve(label: impl Into<String>, curve: &RecallCurve, max_cost: f64, steps: usize) -> Self {
+        Self {
+            label: label.into(),
+            points: curve.sample(max_cost, steps),
+            final_recall: curve.final_recall(),
+            total_cost: curve.last_cost(),
+        }
+    }
+}
+
+/// A figure: named collection of series, printed as aligned text and saved
+/// as JSON.
+#[derive(Debug, serde::Serialize)]
+pub struct Figure {
+    /// Figure identifier, e.g. "fig8-left".
+    pub name: String,
+    /// Axis/caption note.
+    pub caption: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    pub fn new(name: impl Into<String>, caption: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            caption: caption.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Render as an aligned text table: one row per sampled cost, one column
+    /// per series.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.name, self.caption));
+        if self.series.is_empty() {
+            out.push_str("(no series)\n");
+            return out;
+        }
+        out.push_str(&format!("{:>12}", "cost"));
+        for s in &self.series {
+            out.push_str(&format!("  {:>18}", truncate_label(&s.label, 18)));
+        }
+        out.push('\n');
+        let rows = self.series[0].points.len();
+        for r in 0..rows {
+            out.push_str(&format!("{:>12.0}", self.series[0].points[r].0));
+            for s in &self.series {
+                match s.points.get(r) {
+                    Some(&(_, recall)) => out.push_str(&format!("  {recall:>18.3}")),
+                    None => out.push_str(&format!("  {:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>12}", "final"));
+        for s in &self.series {
+            out.push_str(&format!("  {:>18.3}", s.final_recall));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Print to stdout and persist JSON under `out_dir`.
+    pub fn emit(&self, out_dir: &std::path::Path) {
+        println!("{}", self.render_text());
+        std::fs::create_dir_all(out_dir).expect("create experiment output dir");
+        let path = out_dir.join(format!("{}.json", self.name));
+        let mut f = std::fs::File::create(&path).expect("create figure json");
+        serde_json::to_writer_pretty(&mut f, self).expect("serialize figure");
+        writeln!(f).ok();
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn truncate_label(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+/// Uniform sampling maximum: the largest total cost across series, so all
+/// curves share an x-axis.
+pub fn common_max_cost(costs: &[f64]) -> f64 {
+    costs.iter().cloned().fold(1.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_renders_aligned_rows() {
+        let curve = RecallCurve::from_increments(&[(10.0, 5), (20.0, 5)], 10);
+        let mut fig = Figure::new("t", "test");
+        fig.push(Series::from_curve("a", &curve, 20.0, 4));
+        fig.push(Series::from_curve("b", &curve, 20.0, 4));
+        let text = fig.render_text();
+        assert!(text.contains("== t — test =="));
+        assert_eq!(text.lines().count(), 2 + 4 + 1); // header rows + samples + final
+    }
+
+    #[test]
+    fn series_from_curve_final_values() {
+        let curve = RecallCurve::from_increments(&[(5.0, 2), (9.0, 2)], 4);
+        let s = Series::from_curve("x", &curve, 10.0, 5);
+        assert_eq!(s.final_recall, 1.0);
+        assert_eq!(s.total_cost, 9.0);
+        assert_eq!(s.points.len(), 5);
+    }
+
+    #[test]
+    fn max_cost_handles_empty() {
+        assert_eq!(common_max_cost(&[]), 1.0);
+        assert_eq!(common_max_cost(&[3.0, 7.0, 2.0]), 7.0);
+    }
+}

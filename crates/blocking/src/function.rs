@@ -1,0 +1,195 @@
+//! Blocking functions and families.
+//!
+//! The paper's blocking keys are all attribute prefixes (`title.sub(0, 2)`
+//! etc., Table II). A [`BlockingFamily`] bundles one main function with its
+//! sub-blocking functions; level 0 is the main function `X¹`, level `i` is
+//! `X^{i+1}`.
+//!
+//! Sub-blocking functions must *refine* their parent: every child key must
+//! map all its entities to a single parent key. Ascending prefix lengths on
+//! the same attribute guarantee this; [`BlockingFamily::validate`] checks it
+//! structurally and tree construction debug-asserts it on data.
+
+use pper_datagen::Entity;
+use serde::{Deserialize, Serialize};
+
+/// A prefix blocking function: the first `chars` characters of attribute
+/// `attr`, lowercased (so case noise does not split blocks).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixFunction {
+    /// Attribute index within the dataset schema.
+    pub attr: usize,
+    /// Prefix length in characters.
+    pub chars: usize,
+}
+
+impl PrefixFunction {
+    /// Construct a prefix function.
+    pub fn new(attr: usize, chars: usize) -> Self {
+        Self { attr, chars }
+    }
+
+    /// Blocking key of `entity`. Entities whose attribute is shorter than
+    /// the prefix keep the whole value; a missing attribute keys to `""`.
+    pub fn key(&self, entity: &Entity) -> String {
+        entity
+            .attr(self.attr)
+            .chars()
+            .take(self.chars)
+            .collect::<String>()
+            .to_lowercase()
+    }
+}
+
+/// One main blocking function plus its sub-blocking functions.
+///
+/// `levels[0]` is the main function (`X¹`); `levels[1..]` are the
+/// sub-blocking functions (`X², X³, …`), so `N(X¹) = levels.len() - 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingFamily {
+    /// Display name, e.g. `"X"`.
+    pub name: String,
+    /// Main function followed by sub-blocking functions.
+    pub levels: Vec<PrefixFunction>,
+}
+
+impl BlockingFamily {
+    /// Build a family from a name and its level functions.
+    ///
+    /// # Panics
+    /// Panics if `levels` is empty or the refinement property does not hold
+    /// structurally (see [`BlockingFamily::validate`]).
+    pub fn new(name: impl Into<String>, levels: Vec<PrefixFunction>) -> Self {
+        let family = Self {
+            name: name.into(),
+            levels,
+        };
+        family.validate();
+        family
+    }
+
+    /// `N(X¹)`: the number of sub-blocking functions.
+    pub fn num_sub_functions(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Number of levels (tree height + 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Key of `entity` at `level` (0 = root key).
+    pub fn key_at(&self, entity: &Entity, level: usize) -> String {
+        self.levels[level].key(entity)
+    }
+
+    /// Root (main-function) key of `entity`.
+    pub fn root_key(&self, entity: &Entity) -> String {
+        self.key_at(entity, 0)
+    }
+
+    /// Check the refinement property: all levels block on the same attribute
+    /// with strictly increasing prefix lengths. (More general refining
+    /// families are possible in principle; the paper's — Table II — are all
+    /// of this shape, and this structural check is what guarantees that each
+    /// child block nests inside a unique parent.)
+    ///
+    /// # Panics
+    /// Panics if the property is violated.
+    pub fn validate(&self) {
+        assert!(
+            !self.levels.is_empty(),
+            "blocking family '{}' needs at least the main function",
+            self.name
+        );
+        let attr = self.levels[0].attr;
+        assert!(
+            self.levels.iter().all(|f| f.attr == attr),
+            "blocking family '{}': all levels must block on one attribute",
+            self.name
+        );
+        assert!(
+            self.levels.windows(2).all(|w| w[0].chars < w[1].chars),
+            "blocking family '{}': prefix lengths must strictly increase",
+            self.name
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pper_datagen::Entity;
+
+    fn ent(attrs: &[&str]) -> Entity {
+        Entity::new(0, attrs.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn prefix_key_basic() {
+        let f = PrefixFunction::new(0, 2);
+        assert_eq!(f.key(&ent(&["John Lopez", "HI"])), "jo");
+        assert_eq!(f.key(&ent(&["J"])), "j");
+        assert_eq!(f.key(&ent(&[""])), "");
+    }
+
+    #[test]
+    fn prefix_key_missing_attr() {
+        let f = PrefixFunction::new(5, 3);
+        assert_eq!(f.key(&ent(&["only one"])), "");
+    }
+
+    #[test]
+    fn prefix_key_unicode_counts_chars() {
+        let f = PrefixFunction::new(0, 3);
+        assert_eq!(f.key(&ent(&["αβγδε"])), "αβγ");
+    }
+
+    #[test]
+    fn case_insensitive_keys() {
+        let f = PrefixFunction::new(0, 4);
+        assert_eq!(f.key(&ent(&["John"])), f.key(&ent(&["JOHN"])));
+    }
+
+    #[test]
+    fn family_accessors() {
+        let fam = BlockingFamily::new(
+            "X",
+            vec![
+                PrefixFunction::new(0, 2),
+                PrefixFunction::new(0, 4),
+                PrefixFunction::new(0, 8),
+            ],
+        );
+        assert_eq!(fam.num_sub_functions(), 2);
+        assert_eq!(fam.depth(), 3);
+        let e = ent(&["progressive er"]);
+        assert_eq!(fam.root_key(&e), "pr");
+        assert_eq!(fam.key_at(&e, 1), "prog");
+        assert_eq!(fam.key_at(&e, 2), "progress");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_non_increasing_prefixes() {
+        let _ = BlockingFamily::new(
+            "X",
+            vec![PrefixFunction::new(0, 4), PrefixFunction::new(0, 4)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one attribute")]
+    fn rejects_mixed_attributes() {
+        let _ = BlockingFamily::new(
+            "X",
+            vec![PrefixFunction::new(0, 2), PrefixFunction::new(1, 4)],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the main function")]
+    fn rejects_empty_family() {
+        let _ = BlockingFamily::new("X", vec![]);
+    }
+}

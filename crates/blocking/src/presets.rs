@@ -1,0 +1,121 @@
+//! The paper's blocking configurations (Table II) for both datasets, plus
+//! the Table I toy dataset, expressed against the schemas produced by
+//! `pper-datagen`.
+//!
+//! In every preset the family order is the paper's dominance total order
+//! `X¹ ⊵ Y¹ ⊵ Z¹`: the most *selective* attribute (title) dominates, the
+//! coarse attributes come later — see §IV-A for how this order drives
+//! responsible-tree assignment.
+
+use crate::function::{BlockingFamily, PrefixFunction};
+
+/// CiteSeerX blocking (Table II, left column), against the `pper-datagen`
+/// publications schema `title, abstract, venue, authors, year`:
+///
+/// | Family | Keys |
+/// |---|---|
+/// | `X` | `title.sub(0,2)`, `title.sub(0,4)`, `title.sub(0,8)` |
+/// | `Y` | `abstract.sub(0,3)`, `abstract.sub(0,5)` |
+/// | `Z` | `venue.sub(0,3)`, `venue.sub(0,5)` |
+pub fn citeseer_families() -> Vec<BlockingFamily> {
+    vec![
+        BlockingFamily::new(
+            "X",
+            vec![
+                PrefixFunction::new(0, 2),
+                PrefixFunction::new(0, 4),
+                PrefixFunction::new(0, 8),
+            ],
+        ),
+        BlockingFamily::new(
+            "Y",
+            vec![PrefixFunction::new(1, 3), PrefixFunction::new(1, 5)],
+        ),
+        BlockingFamily::new(
+            "Z",
+            vec![PrefixFunction::new(2, 3), PrefixFunction::new(2, 5)],
+        ),
+    ]
+}
+
+/// OL-Books blocking (Table II, right column), against the books schema
+/// `title, authors, publisher, year, isbn, pages, language, format`:
+///
+/// | Family | Keys |
+/// |---|---|
+/// | `X` | `title.sub(0,3)`, `title.sub(0,5)`, `title.sub(0,8)` |
+/// | `Y` | `authors.sub(0,3)`, `authors.sub(0,5)` |
+/// | `Z` | `publisher.sub(0,3)`, `publisher.sub(0,5)` |
+pub fn books_families() -> Vec<BlockingFamily> {
+    vec![
+        BlockingFamily::new(
+            "X",
+            vec![
+                PrefixFunction::new(0, 3),
+                PrefixFunction::new(0, 5),
+                PrefixFunction::new(0, 8),
+            ],
+        ),
+        BlockingFamily::new(
+            "Y",
+            vec![PrefixFunction::new(1, 3), PrefixFunction::new(1, 5)],
+        ),
+        BlockingFamily::new(
+            "Z",
+            vec![PrefixFunction::new(2, 3), PrefixFunction::new(2, 5)],
+        ),
+    ]
+}
+
+/// Toy-people blocking: `X¹` = 2-char name prefix with the two example
+/// sub-functions from §III-A (3- and 5-char prefixes), `Y¹` = state.
+pub fn toy_families() -> Vec<BlockingFamily> {
+    vec![
+        BlockingFamily::new(
+            "X",
+            vec![
+                PrefixFunction::new(0, 2),
+                PrefixFunction::new(0, 3),
+                PrefixFunction::new(0, 5),
+            ],
+        ),
+        BlockingFamily::new("Y", vec![PrefixFunction::new(1, 2)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shapes_match_table_two() {
+        let cs = citeseer_families();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].num_sub_functions(), 2);
+        assert_eq!(cs[1].num_sub_functions(), 1);
+        assert_eq!(cs[2].num_sub_functions(), 1);
+
+        let books = books_families();
+        assert_eq!(books.len(), 3);
+        assert_eq!(books[0].levels[0].chars, 3);
+        assert_eq!(books[0].levels[2].chars, 8);
+    }
+
+    #[test]
+    fn dominance_order_allocates_more_subfunctions_to_dominating_families() {
+        // §IV-A: "the more dominating a function is … a higher value should
+        // be specified for N(X¹)". The presets respect that.
+        for fams in [citeseer_families(), books_families()] {
+            for w in fams.windows(2) {
+                assert!(w[0].num_sub_functions() >= w[1].num_sub_functions());
+            }
+        }
+    }
+
+    #[test]
+    fn toy_families_block_expected_attrs() {
+        let fams = toy_families();
+        assert_eq!(fams[0].levels[0].attr, 0); // name
+        assert_eq!(fams[1].levels[0].attr, 1); // state
+    }
+}

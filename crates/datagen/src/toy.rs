@@ -1,0 +1,76 @@
+//! The paper's Table I toy people dataset, used by examples and tests to
+//! illustrate blocking and the basic approach (Fig. 2).
+
+use crate::entity::{Dataset, Entity, GroundTruth};
+
+/// Build the toy people dataset of Table I.
+///
+/// Nine entities with attributes `name, state`; ground-truth objects are
+/// `{e1,e2,e3}, {e4,e5}, {e6}, {e7}, {e8}, {e9}` (the paper's 1-based ids,
+/// our 0-based ids 0–8). The paper's blocking functions on it:
+/// `X¹` = first two characters of the name, `Y¹` = state.
+pub fn toy_people() -> Dataset {
+    let rows: [(&str, &str, u32); 9] = [
+        ("John Lopez", "HI", 0),      // e1
+        ("John Lopez", "HI", 0),      // e2
+        ("John Lopez", "AZ", 0),      // e3
+        ("Charles Andrews", "LA", 1), // e4
+        ("Gharles Andrews", "LA", 1), // e5
+        ("Mary Gibson", "AZ", 2),     // e6
+        ("Chloe Matthew", "AZ", 3),   // e7
+        ("William Martin", "AZ", 4),  // e8
+        ("Joey Brown", "LA", 5),      // e9
+    ];
+    let entities = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (name, state, _))| {
+            Entity::new(i as u32, vec![name.to_string(), state.to_string()])
+        })
+        .collect();
+    let clusters = rows.iter().map(|&(_, _, c)| c).collect();
+    Dataset::new(
+        "toy-people",
+        vec!["name".into(), "state".into()],
+        entities,
+        GroundTruth::new(clusters),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table_one() {
+        let ds = toy_people();
+        assert_eq!(ds.len(), 9);
+        // Six distinct real-world people.
+        assert_eq!(ds.truth.num_clusters(), 6);
+        // Duplicate pairs: C(3,2) + C(2,2) = 3 + 1 = 4.
+        assert_eq!(ds.truth.total_duplicate_pairs(), 4);
+        assert!(ds.truth.is_duplicate(0, 2));
+        assert!(ds.truth.is_duplicate(3, 4));
+        assert!(!ds.truth.is_duplicate(5, 6));
+    }
+
+    #[test]
+    fn name_prefix_blocks_match_paper() {
+        // X¹ (2-char name prefix) puts e1,e2,e3 and e9 together ("Jo"), and
+        // splits ⟨e4,e5⟩ ("Ch" vs "Gh") — the paper's motivating example for
+        // multiple blocking functions.
+        let ds = toy_people();
+        let p = |id: u32| {
+            ds.entity(id)
+                .attr(0)
+                .chars()
+                .take(2)
+                .collect::<String>()
+        };
+        assert_eq!(p(0), p(1));
+        assert_eq!(p(0), p(8)); // "John" and "Joey" share "Jo"
+        assert_ne!(p(3), p(4)); // Charles vs Gharles
+        // Y¹ (state) reunites e4 and e5 in "LA".
+        assert_eq!(ds.entity(3).attr(1), ds.entity(4).attr(1));
+    }
+}

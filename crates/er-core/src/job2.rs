@@ -1,0 +1,365 @@
+//! The second MR job (§III-B): schedule-driven progressive resolution.
+//!
+//! * **Map setup** — generate the progressive schedule from the first job's
+//!   statistics (every map task derives the identical schedule; here the
+//!   driver computes it once and shares it, charging each task the
+//!   generation cost against its virtual clock).
+//! * **Map** — for each entity, emit one record per tree containing it,
+//!   keyed by the tree's sequence value `SQ` and carrying the entity plus
+//!   its dominance list (§V).
+//! * **Partition** — a range partitioner over `SQ` routes every tree to its
+//!   scheduled reduce task.
+//! * **Reduce (whole partition)** — ingest the task's trees, then walk the
+//!   task's *block schedule*: for each block, materialize its members,
+//!   sort them by the blocking attribute, run the configured mechanism with
+//!   the level's window, and resolve pairs until the level's stop rule
+//!   fires — skipping pairs another tree is responsible for
+//!   (`SHOULD-RESOLVE`) and pairs already resolved in this tree's child
+//!   blocks. Root blocks resolve fully. Duplicates stream through an
+//!   [`IncrementalWriter`] cut every α cost units.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use pper_blocking::BlockingFamily;
+use pper_datagen::{Dataset, Entity, EntityId};
+use pper_mapreduce::prelude::*;
+use pper_mapreduce::runtime::run_job_with_partitioner;
+use pper_progressive::{LevelPolicy, PairSource, StopState};
+use pper_schedule::{should_resolve, DomList, Schedule, TreeLocator};
+use pper_simil::MatchRule;
+
+use crate::config::ErConfig;
+use crate::EVENT_DUPLICATE;
+
+/// Map output value: the entity and its dominance list for the target tree.
+type Routed = (Entity, DomList);
+
+struct RouteMapper<'a> {
+    families: &'a [BlockingFamily],
+    schedule: &'a Arc<Schedule>,
+    locator: &'a Arc<TreeLocator>,
+}
+
+impl Mapper for RouteMapper<'_> {
+    type Input = Entity;
+    type Key = u64;
+    type Value = Routed;
+
+    fn setup(&self, ctx: &mut TaskContext) {
+        // Every map task generates the progressive schedule from the
+        // gathered statistics (§III-B). The dominant term is sorting SL.
+        let total_blocks: usize = self.schedule.trees.iter().map(|t| t.nodes.len()).sum();
+        ctx.charge(ctx.cost_model.sort_cost(total_blocks) * 2.0);
+        ctx.counters.incr("job2_schedules_generated");
+    }
+
+    fn map(&self, entity: &Entity, ctx: &mut TaskContext, out: &mut Emitter<u64, Routed>) {
+        for tree in self.locator.trees_of_entity(self.families, entity) {
+            ctx.charge(ctx.cost_model.read_per_entity * 0.25);
+            let list = self
+                .locator
+                .dom_list(self.schedule, self.families, entity, tree);
+            out.emit(self.schedule.tree_sq[tree], (entity.clone(), list));
+        }
+    }
+}
+
+/// Per-tree reduce-side state.
+struct TreeState {
+    entities: HashMap<EntityId, Entity>,
+    doms: HashMap<EntityId, DomList>,
+    /// Pairs already *compared* in this tree (normalized `a < b`), so a
+    /// parent block never repeats its children's work (§III-A).
+    resolved: HashSet<(EntityId, EntityId)>,
+}
+
+struct ResolveReducer<'a> {
+    families: &'a [BlockingFamily],
+    schedule: &'a Arc<Schedule>,
+    policy: &'a LevelPolicy,
+    rule: &'a MatchRule,
+    mechanism: crate::config::MechanismKind,
+    alpha: f64,
+}
+
+impl PartitionReducer for ResolveReducer<'_> {
+    type Key = u64;
+    type Value = Routed;
+    type Output = Segment<(EntityId, EntityId)>;
+
+    fn reduce_partition(
+        &self,
+        groups: Vec<(u64, Vec<Routed>)>,
+        ctx: &mut TaskContext,
+        out: &mut Vec<Segment<(EntityId, EntityId)>>,
+    ) {
+        let task = ctx.id.index;
+        let n_families = self.families.len();
+
+        // Invert SQ → tree id for this task's groups.
+        let sq_to_tree: HashMap<u64, usize> = self
+            .schedule
+            .tree_sq
+            .iter()
+            .enumerate()
+            .map(|(t, &sq)| (sq, t))
+            .collect();
+
+        let mut states: HashMap<usize, TreeState> = HashMap::new();
+        for (sq, values) in groups {
+            let Some(&tree) = sq_to_tree.get(&sq) else {
+                ctx.counters.incr("job2_unroutable_groups");
+                continue;
+            };
+            let mut state = TreeState {
+                entities: HashMap::with_capacity(values.len()),
+                doms: HashMap::with_capacity(values.len()),
+                resolved: HashSet::new(),
+            };
+            for (entity, dom) in values {
+                state.doms.insert(entity.id, dom);
+                state.entities.insert(entity.id, entity);
+            }
+            states.insert(tree, state);
+        }
+
+        let mut writer: IncrementalWriter<(EntityId, EntityId)> =
+            IncrementalWriter::new(self.alpha, ctx.now());
+
+        for block in &self.schedule.block_order[task] {
+            let Some(state) = states.get_mut(&block.tree) else {
+                continue; // tree received no entities (cannot happen for real trees)
+            };
+            let plan_tree = &self.schedule.trees[block.tree];
+            let node = &plan_tree.nodes[block.node];
+            let family = &self.families[plan_tree.family];
+
+            // Materialize the block: members of the tree whose key at the
+            // node's level equals the node's key (prefix nesting makes the
+            // level key sufficient).
+            let mut members: Vec<EntityId> = state
+                .entities
+                .values()
+                .filter(|e| family.key_at(e, node.level) == node.key)
+                .map(|e| e.id)
+                .collect();
+            members.sort_unstable();
+            ctx.charge(ctx.cost_model.read_per_entity * state.entities.len() as f64);
+            if members.len() < 2 {
+                continue;
+            }
+
+            // Hint generation: sort by the blocking attribute.
+            // Compound SNM sort key: the blocking attribute, ties broken
+            // by the most discriminative attribute (index 0, the title).
+            let sorted = pper_progressive::sort_by_attrs(
+                &members,
+                &[family.levels[0].attr, 0],
+                &state.entities,
+            );
+            ctx.charge(ctx.cost_model.block_additional_cost(sorted.len()));
+
+            let is_root = node.is_root();
+            let is_leaf = node.is_leaf();
+            let window = self.policy.window(is_root, is_leaf);
+            let mut run = self.mechanism.start(sorted, window);
+            let mut stop = StopState::new(self.policy.stop_rule(is_root, members.len()));
+
+            while let Some((a, b)) = run.next_pair() {
+                let key = (a.min(b), a.max(b));
+                if state.resolved.contains(&key) {
+                    ctx.counters.incr("pairs_skipped_already_resolved");
+                    continue;
+                }
+                let responsible = should_resolve(
+                    &state.doms[&a],
+                    &state.doms[&b],
+                    plan_tree.family,
+                    n_families,
+                );
+                if !responsible {
+                    ctx.counters.incr("pairs_skipped_redundant");
+                    continue;
+                }
+                ctx.charge(ctx.cost_model.resolve_pair);
+                ctx.counters.incr("pairs_compared");
+                state.resolved.insert(key);
+                let is_dup = self
+                    .rule
+                    .matches(&state.entities[&a].attrs, &state.entities[&b].attrs);
+                run.feedback(is_dup);
+                if is_dup {
+                    ctx.counters.incr("duplicates_found");
+                    ctx.log_event(EVENT_DUPLICATE, crate::pack_pair(a, b));
+                    writer.write(ctx.now(), key);
+                } else {
+                    writer.advance(ctx.now());
+                }
+                if stop.observe(is_dup) {
+                    ctx.counters.incr("blocks_stopped_early");
+                    break;
+                }
+            }
+            ctx.counters.incr("blocks_resolved");
+        }
+
+        out.extend(writer.finish(ctx.now()));
+    }
+}
+
+/// Result of the second job.
+#[derive(Debug)]
+pub struct Job2Result {
+    /// All duplicate pairs found, normalized `a < b`, deduplicated.
+    pub duplicates: Vec<(EntityId, EntityId)>,
+    /// Result segments across all reduce tasks (α-incremental output).
+    pub segments: Vec<Segment<(EntityId, EntityId)>>,
+    /// Global timeline of duplicate events.
+    pub timeline: Vec<ProgressEvent>,
+    /// Virtual completion time of the job.
+    pub virtual_cost: f64,
+    /// Merged counters.
+    pub counters: Counters,
+}
+
+/// Run the second job against a generated schedule.
+pub fn run_job2(
+    ds: &Dataset,
+    config: &ErConfig,
+    schedule: Arc<Schedule>,
+) -> Result<Job2Result, MrError> {
+    let locator = Arc::new(TreeLocator::new(&schedule, config.families.len()));
+    let mut cfg = JobConfig::new("pper-job2-resolution", config.cluster());
+    cfg.cost_model = config.cost_model.clone();
+    cfg.worker_threads = config.worker_threads;
+    cfg.num_reduce_tasks = Some(schedule.num_tasks);
+    cfg.faults = config.faults.clone();
+
+    let mapper = RouteMapper {
+        families: &config.families,
+        schedule: &schedule,
+        locator: &locator,
+    };
+    let reducer = ResolveReducer {
+        families: &config.families,
+        schedule: &schedule,
+        policy: &config.policy,
+        rule: &config.rule,
+        mechanism: config.mechanism,
+        alpha: config.alpha,
+    };
+    let partitioner = RangePartitioner::new(schedule.sq_bounds(), |sq: &u64| *sq);
+    let result = run_job_with_partitioner(&cfg, &mapper, &reducer, &partitioner, &ds.entities)?;
+
+    let mut duplicates: Vec<(EntityId, EntityId)> = result
+        .outputs
+        .iter()
+        .flat_map(|s| s.records.iter().copied())
+        .collect();
+    duplicates.sort_unstable();
+    duplicates.dedup();
+
+    Ok(Job2Result {
+        duplicates,
+        segments: result.outputs,
+        timeline: result.timeline,
+        virtual_cost: result.total_virtual_cost,
+        counters: result.counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job1::run_job1;
+    use pper_datagen::PubGen;
+    use pper_schedule::{generate_schedule, EstimationContext};
+
+    fn schedule_for(
+        ds: &Dataset,
+        config: &ErConfig,
+    ) -> Arc<Schedule> {
+        let job1 = run_job1(ds, config).unwrap();
+        let ctx = EstimationContext {
+            dataset_size: ds.len(),
+            policy: &config.policy,
+            cost_model: &config.cost_model,
+            prob: config.prob.as_model(),
+        };
+        let mut sc = config.schedule.clone();
+        sc.reduce_tasks = config.reduce_tasks();
+        Arc::new(generate_schedule(&job1.stats, &ctx, &sc))
+    }
+
+    #[test]
+    fn job2_finds_most_duplicates_without_redundancy() {
+        let ds = PubGen::new(3_000, 71).generate();
+        let config = ErConfig::citeseer(2);
+        let schedule = schedule_for(&ds, &config);
+        let result = run_job2(&ds, &config, schedule).unwrap();
+
+        let truth = ds.truth.total_duplicate_pairs();
+        let correct = result
+            .duplicates
+            .iter()
+            .filter(|&&(a, b)| ds.truth.is_duplicate(a, b))
+            .count() as u64;
+        let recall = correct as f64 / truth as f64;
+        assert!(
+            recall > 0.8,
+            "recall {recall:.3} too low ({correct}/{truth})"
+        );
+        // Redundancy-free: every pair compared at most once per tree, and
+        // cross-tree redundancy should be a small residual (only the pairs
+        // legitimately re-examined when both of a pair's trees were split).
+        assert!(result.counters.get("pairs_skipped_redundant") > 0);
+        // Duplicates list is deduplicated and sorted.
+        assert!(result.duplicates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn job2_timeline_is_monotone_and_matches_counters() {
+        let ds = PubGen::new(1_500, 72).generate();
+        let config = ErConfig::citeseer(2);
+        let schedule = schedule_for(&ds, &config);
+        let result = run_job2(&ds, &config, schedule).unwrap();
+        assert!(result
+            .timeline
+            .windows(2)
+            .all(|w| w[0].cost <= w[1].cost));
+        let events = result
+            .timeline
+            .iter()
+            .filter(|e| e.kind == EVENT_DUPLICATE)
+            .count() as u64;
+        assert_eq!(events, result.counters.get("duplicates_found"));
+    }
+
+    #[test]
+    fn job2_segments_partition_duplicates() {
+        let ds = PubGen::new(1_500, 73).generate();
+        let mut config = ErConfig::citeseer(2);
+        config.alpha = 500.0; // several segments
+        let schedule = schedule_for(&ds, &config);
+        let result = run_job2(&ds, &config, schedule).unwrap();
+        let seg_pairs: usize = result.segments.iter().map(|s| s.records.len()).sum();
+        assert_eq!(seg_pairs as u64, result.counters.get("duplicates_found"));
+        assert!(result.segments.len() > 1, "alpha should cut multiple segments");
+    }
+
+    #[test]
+    fn job2_deterministic_virtual_time() {
+        let ds = PubGen::new(1_000, 74).generate();
+        let mut c1 = ErConfig::citeseer(2);
+        c1.worker_threads = Some(1);
+        let mut c8 = ErConfig::citeseer(2);
+        c8.worker_threads = Some(8);
+        let s1 = schedule_for(&ds, &c1);
+        let r1 = run_job2(&ds, &c1, s1).unwrap();
+        let s8 = schedule_for(&ds, &c8);
+        let r8 = run_job2(&ds, &c8, s8).unwrap();
+        assert_eq!(r1.duplicates, r8.duplicates);
+        assert_eq!(r1.virtual_cost, r8.virtual_cost);
+    }
+}

@@ -1,0 +1,155 @@
+//! Multi-job driver: chains MapReduce jobs on one global virtual timeline.
+//!
+//! The paper's approach is a two-job workflow (Fig. 3); real Hadoop
+//! deployments chain many more. [`Driver`] accumulates the virtual cost of
+//! successive jobs, re-bases each job's progress events onto the global
+//! clock, and produces a per-stage report.
+
+use crate::progress::ProgressEvent;
+use crate::runtime::JobResult;
+
+/// Summary of one completed stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Job name.
+    pub name: String,
+    /// Global virtual time at which the job started.
+    pub started_at: f64,
+    /// Virtual duration of the job.
+    pub duration: f64,
+    /// Records that crossed the job's shuffle.
+    pub shuffle_records: u64,
+}
+
+/// Accumulates jobs into one global virtual timeline.
+#[derive(Debug, Default)]
+pub struct Driver {
+    now: f64,
+    stages: Vec<StageReport>,
+    timeline: Vec<ProgressEvent>,
+}
+
+impl Driver {
+    /// A driver starting at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current global virtual time (end of the last recorded job).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Record a completed job: its events shift onto the global timeline
+    /// and the clock advances by its total virtual cost. Returns the global
+    /// time at which the job started.
+    pub fn record<O>(&mut self, name: impl Into<String>, result: &JobResult<O>) -> f64 {
+        let started_at = self.now;
+        self.timeline.extend(result.timeline.iter().map(|e| ProgressEvent {
+            cost: e.cost + started_at,
+            ..*e
+        }));
+        self.now += result.total_virtual_cost;
+        self.stages.push(StageReport {
+            name: name.into(),
+            started_at,
+            duration: result.total_virtual_cost,
+            shuffle_records: result.shuffle_records,
+        });
+        started_at
+    }
+
+    /// Stage reports in execution order.
+    pub fn stages(&self) -> &[StageReport] {
+        &self.stages
+    }
+
+    /// The merged global timeline, sorted by time.
+    pub fn timeline(&self) -> Vec<ProgressEvent> {
+        let mut t = self.timeline.clone();
+        t.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+        t
+    }
+
+    /// Render a human-readable stage table.
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "{:<24} {:>14} {:>14} {:>12}\n",
+            "stage", "start", "duration", "shuffle"
+        );
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<24} {:>14.0} {:>14.0} {:>12}\n",
+                s.name, s.started_at, s.duration, s.shuffle_records
+            ));
+        }
+        out.push_str(&format!("total virtual cost: {:.0}\n", self.now));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ClusterSpec, GroupReducer, JobConfig, Mapper, Reducer, TaskContext};
+    use crate::runtime::run_job;
+    use crate::Emitter;
+
+    struct Echo;
+    impl Mapper for Echo {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, input: &u64, ctx: &mut TaskContext, out: &mut Emitter<u64, u64>) {
+            ctx.charge(1.0);
+            out.emit(*input % 4, *input);
+        }
+    }
+    struct Count;
+    impl Reducer for Count {
+        type Key = u64;
+        type Value = u64;
+        type Output = u64;
+        fn reduce(&self, _k: &u64, values: Vec<u64>, ctx: &mut TaskContext, out: &mut Vec<u64>) {
+            ctx.charge(values.len() as f64);
+            ctx.log_event(1, values.len() as u64);
+            out.push(values.len() as u64);
+        }
+    }
+
+    #[test]
+    fn chains_jobs_on_one_clock() {
+        let cfg = JobConfig::new("stage", ClusterSpec::paper(2));
+        let inputs: Vec<u64> = (0..100).collect();
+        let r1 = run_job(&cfg, &Echo, &GroupReducer::new(Count), &inputs).unwrap();
+        let r2 = run_job(&cfg, &Echo, &GroupReducer::new(Count), &inputs).unwrap();
+
+        let mut driver = Driver::new();
+        assert_eq!(driver.record("first", &r1), 0.0);
+        let second_start = driver.record("second", &r2);
+        assert_eq!(second_start, r1.total_virtual_cost);
+        assert_eq!(driver.now(), r1.total_virtual_cost + r2.total_virtual_cost);
+
+        // Second job's events land strictly after the first job ends.
+        let timeline = driver.timeline();
+        assert!(timeline.windows(2).all(|w| w[0].cost <= w[1].cost));
+        let second_events = timeline
+            .iter()
+            .filter(|e| e.cost >= second_start)
+            .count();
+        assert!(second_events >= r2.timeline.len());
+
+        let report = driver.report();
+        assert!(report.contains("first"));
+        assert!(report.contains("second"));
+        assert_eq!(driver.stages().len(), 2);
+    }
+
+    #[test]
+    fn empty_driver_reports_zero() {
+        let d = Driver::new();
+        assert_eq!(d.now(), 0.0);
+        assert!(d.timeline().is_empty());
+        assert!(d.report().contains("total virtual cost: 0"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the MapReduce runtime.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::runtime::run_job`].
+#[derive(Debug)]
+pub enum MrError {
+    /// A job was configured with zero machines or zero slots.
+    InvalidCluster(String),
+    /// A task panicked; carries the task description and panic payload text.
+    TaskPanicked { task: String, message: String },
+    /// Spill/serialization failure in the intermediate store.
+    Spill(String),
+    /// A task exhausted its attempt budget (injected failures, see
+    /// [`crate::faults::FaultPlan`]).
+    TaskFailed {
+        /// Task description.
+        task: String,
+        /// Attempt budget that was exhausted.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::InvalidCluster(msg) => write!(f, "invalid cluster spec: {msg}"),
+            MrError::TaskPanicked { task, message } => {
+                write!(f, "task {task} panicked: {message}")
+            }
+            MrError::Spill(msg) => write!(f, "spill error: {msg}"),
+            MrError::TaskFailed { task, attempts } => {
+                write!(f, "task {task} failed after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MrError::InvalidCluster("zero machines".into())
+            .to_string()
+            .contains("zero machines"));
+        let e = MrError::TaskPanicked {
+            task: "map-3".into(),
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("map-3"));
+        assert!(e.to_string().contains("boom"));
+        assert!(MrError::Spill("io".into()).to_string().contains("io"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic task-failure injection.
+//!
+//! Hadoop re-executes failed tasks (up to `mapreduce.map.maxattempts`,
+//! default 4); a failure wastes the partial work of the crashed attempt and
+//! delays everything scheduled behind it. [`FaultPlan`] injects exactly such
+//! failures into a job: the chosen tasks "crash" after completing a
+//! configurable fraction of their work for a configurable number of
+//! attempts, and the runtime accounts the wasted virtual cost and shifts
+//! the surviving attempt's progress events accordingly.
+//!
+//! Failures are specified per task index, so tests are fully deterministic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::TaskKind;
+
+/// Failure schedule for one job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// `(map task index, number of failing attempts)`.
+    pub map_failures: Vec<(usize, u32)>,
+    /// `(reduce task index, number of failing attempts)`.
+    pub reduce_failures: Vec<(usize, u32)>,
+    /// Fraction of the task's work completed before each crash (wasted
+    /// cost per failed attempt = fraction × task cost).
+    pub failure_fraction: f64,
+    /// Attempts allowed per task (Hadoop's default is 4). A task whose
+    /// injected failures reach this bound fails the job.
+    pub max_attempts: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            map_failures: Vec::new(),
+            reduce_failures: Vec::new(),
+            failure_fraction: 0.5,
+            max_attempts: 4,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan failing one map task's first `attempts` attempts.
+    pub fn fail_map(index: usize, attempts: u32) -> Self {
+        Self {
+            map_failures: vec![(index, attempts)],
+            ..Self::default()
+        }
+    }
+
+    /// A plan failing one reduce task's first `attempts` attempts.
+    pub fn fail_reduce(index: usize, attempts: u32) -> Self {
+        Self {
+            reduce_failures: vec![(index, attempts)],
+            ..Self::default()
+        }
+    }
+
+    /// Number of failing attempts injected for a task.
+    pub fn failures_for(&self, kind: TaskKind, index: usize) -> u32 {
+        let list = match kind {
+            TaskKind::Map => &self.map_failures,
+            TaskKind::Reduce => &self.reduce_failures,
+        };
+        list.iter()
+            .find(|(i, _)| *i == index)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// True if the injected failures exhaust the attempt budget.
+    pub fn exhausts_attempts(&self, kind: TaskKind, index: usize) -> bool {
+        self.failures_for(kind, index) + 1 > self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups() {
+        let plan = FaultPlan {
+            map_failures: vec![(2, 1), (5, 3)],
+            reduce_failures: vec![(0, 2)],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.failures_for(TaskKind::Map, 2), 1);
+        assert_eq!(plan.failures_for(TaskKind::Map, 5), 3);
+        assert_eq!(plan.failures_for(TaskKind::Map, 0), 0);
+        assert_eq!(plan.failures_for(TaskKind::Reduce, 0), 2);
+        assert!(!plan.exhausts_attempts(TaskKind::Map, 5));
+    }
+
+    #[test]
+    fn attempt_exhaustion() {
+        let plan = FaultPlan {
+            map_failures: vec![(1, 4)],
+            max_attempts: 4,
+            ..FaultPlan::default()
+        };
+        assert!(plan.exhausts_attempts(TaskKind::Map, 1));
+        assert!(!plan.exhausts_attempts(TaskKind::Map, 0));
+    }
+
+    #[test]
+    fn builders() {
+        let m = FaultPlan::fail_map(3, 2);
+        assert_eq!(m.failures_for(TaskKind::Map, 3), 2);
+        let r = FaultPlan::fail_reduce(1, 1);
+        assert_eq!(r.failures_for(TaskKind::Reduce, 1), 1);
+    }
+}

@@ -1,0 +1,808 @@
+//! The job executor: splits input, runs map tasks, shuffles, runs reduce
+//! tasks, and assembles virtual-time reports.
+//!
+//! Simulated tasks are executed on a pool of OS threads (one work queue per
+//! phase, tasks pulled with an atomic cursor), so wall-clock parallelism is
+//! real; but the *reported* phase durations come from the per-task virtual
+//! clocks combined with list scheduling over the simulated cluster's slots
+//! ([`crate::cost::virtual_makespan`]). This separation lets a laptop
+//! faithfully reproduce curves for a 25-machine cluster.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::cost::{list_schedule_starts, virtual_makespan};
+use crate::counters::Counters;
+use crate::error::MrError;
+use crate::job::{
+    Combiner, Emitter, JobConfig, Mapper, PartitionReducer, TaskContext, TaskId, TaskKind,
+};
+use crate::partition::{HashPartitioner, Partitioner};
+use crate::progress::ProgressEvent;
+
+/// Virtual-time summary of one phase (map or reduce).
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Virtual cost of each task, indexed by task id.
+    pub task_costs: Vec<f64>,
+    /// Virtual completion time of the phase on the simulated cluster.
+    pub makespan: f64,
+}
+
+impl PhaseReport {
+    fn new(task_costs: Vec<f64>, slots: usize) -> Self {
+        let makespan = virtual_makespan(&task_costs, slots);
+        Self {
+            task_costs,
+            makespan,
+        }
+    }
+}
+
+/// Everything a completed job reports.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// Concatenated reduce outputs (grouped by reduce task, tasks in order).
+    pub outputs: Vec<O>,
+    /// Reduce outputs per reduce task, for jobs that need task provenance.
+    pub outputs_per_task: Vec<usize>,
+    /// Merged counters from every task.
+    pub counters: Counters,
+    /// Map phase virtual-time summary.
+    pub map_phase: PhaseReport,
+    /// Reduce phase virtual-time summary.
+    pub reduce_phase: PhaseReport,
+    /// All progress events re-based onto the global virtual timeline
+    /// (job startup + map makespan + per-task wave start), sorted by time.
+    pub timeline: Vec<ProgressEvent>,
+    /// Virtual completion time of the whole job.
+    pub total_virtual_cost: f64,
+    /// Actual wall-clock execution time (informational; all experiment
+    /// results use virtual time).
+    pub wall_clock: Duration,
+    /// Number of intermediate records that crossed the shuffle.
+    pub shuffle_records: u64,
+}
+
+impl<O> JobResult<O> {
+    /// Coefficient of variation (stddev / mean) of the reduce tasks' virtual
+    /// costs — the skew measure behind the paper's load-balancing
+    /// discussion: a perfectly balanced reduce phase scores 0.
+    pub fn reduce_skew(&self) -> f64 {
+        let costs = &self.reduce_phase.task_costs;
+        if costs.len() < 2 {
+            return 0.0;
+        }
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        if mean <= f64::EPSILON {
+            return 0.0;
+        }
+        let var = costs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / costs.len() as f64;
+        var.sqrt() / mean
+    }
+}
+
+/// Run `count` closures (index-addressed) on up to `threads` OS threads,
+/// collecting results in index order. Panics inside a closure are converted
+/// into `MrError::TaskPanicked`.
+fn run_indexed<T: Send>(
+    count: usize,
+    threads: usize,
+    kind: TaskKind,
+    f: impl Fn(usize) -> T + Sync,
+) -> Result<Vec<T>, MrError> {
+    let threads = threads.max(1).min(count.max(1));
+    let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    return;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(idx))) {
+                    Ok(value) => *results[idx].lock() = Some(value),
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".into());
+                        let mut slot = panicked.lock();
+                        if slot.is_none() {
+                            *slot = Some((idx, message));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((idx, message)) = panicked.into_inner() {
+        let task = TaskId { kind, index: idx };
+        return Err(MrError::TaskPanicked {
+            task: task.to_string(),
+            message,
+        });
+    }
+    Ok(results
+        .into_iter()
+        .map(|m| m.into_inner().expect("task result missing without panic"))
+        .collect())
+}
+
+/// Split `inputs` into `n` contiguous chunks of near-equal length.
+fn split_ranges(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.max(1);
+    let base = len / n;
+    let extra = len % n;
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        ranges.push((start, start + size));
+        start += size;
+    }
+    ranges
+}
+
+struct MapTaskOutput<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    cost: f64,
+    counters: Counters,
+    events: Vec<ProgressEvent>,
+    records: u64,
+}
+
+struct ReduceTaskOutput<O> {
+    outputs: Vec<O>,
+    cost: f64,
+    counters: Counters,
+    events: Vec<ProgressEvent>,
+}
+
+/// Account injected failures for one finished task: failed attempts waste
+/// `fraction × cost (+ startup)` each and happen *before* the surviving
+/// attempt, so its events shift right by the wasted time.
+fn apply_faults(cfg: &JobConfig, kind: TaskKind, index: usize, ctx: &mut TaskContext) {
+    let Some(plan) = &cfg.faults else { return };
+    let failures = plan.failures_for(kind, index);
+    if failures == 0 {
+        return;
+    }
+    let attempt_cost = ctx.now();
+    let wasted =
+        failures as f64 * (plan.failure_fraction * attempt_cost + cfg.cost_model.task_startup);
+    ctx.events.rebase(wasted);
+    ctx.charge(wasted);
+    ctx.counters.add("task_retries", u64::from(failures));
+}
+
+/// Validate a fault plan against the task counts before launching.
+fn check_fault_plan(cfg: &JobConfig, num_map: usize, num_reduce: usize) -> Result<(), MrError> {
+    let Some(plan) = &cfg.faults else {
+        return Ok(());
+    };
+    for (kind, count) in [(TaskKind::Map, num_map), (TaskKind::Reduce, num_reduce)] {
+        for index in 0..count {
+            if plan.exhausts_attempts(kind, index) {
+                return Err(MrError::TaskFailed {
+                    task: TaskId { kind, index }.to_string(),
+                    attempts: plan.max_attempts,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A combiner that passes values through untouched (used internally when no
+/// combiner is configured).
+pub struct IdentityCombiner<K, V>(std::marker::PhantomData<fn(K, V)>);
+
+impl<K, V> Default for IdentityCombiner<K, V> {
+    fn default() -> Self {
+        Self(std::marker::PhantomData)
+    }
+}
+
+impl<K: Ord + Send, V: Send> Combiner for IdentityCombiner<K, V> {
+    type Key = K;
+    type Value = V;
+    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
+        values
+    }
+}
+
+/// Run a job with the default [`HashPartitioner`].
+pub fn run_job<M, R>(
+    cfg: &JobConfig,
+    mapper: &M,
+    reducer: &R,
+    inputs: &[M::Input],
+) -> Result<JobResult<R::Output>, MrError>
+where
+    M: Mapper,
+    R: PartitionReducer<Key = M::Key, Value = M::Value>,
+{
+    run_job_with_partitioner(cfg, mapper, reducer, &HashPartitioner, inputs)
+}
+
+/// Run a job with a map-side [`Combiner`] and the default hash partitioner.
+pub fn run_job_with_combiner<M, R, C>(
+    cfg: &JobConfig,
+    mapper: &M,
+    combiner: &C,
+    reducer: &R,
+    inputs: &[M::Input],
+) -> Result<JobResult<R::Output>, MrError>
+where
+    M: Mapper,
+    R: PartitionReducer<Key = M::Key, Value = M::Value>,
+    C: Combiner<Key = M::Key, Value = M::Value>,
+{
+    execute(cfg, mapper, reducer, &HashPartitioner, Some(combiner), inputs)
+}
+
+/// Run a job with a custom partitioner (the paper's second job routes blocks
+/// to their scheduled reduce task with a range partitioner over sequence
+/// values, §III-B).
+pub fn run_job_with_partitioner<M, R, P>(
+    cfg: &JobConfig,
+    mapper: &M,
+    reducer: &R,
+    partitioner: &P,
+    inputs: &[M::Input],
+) -> Result<JobResult<R::Output>, MrError>
+where
+    M: Mapper,
+    R: PartitionReducer<Key = M::Key, Value = M::Value>,
+    P: Partitioner<M::Key>,
+{
+    execute(
+        cfg,
+        mapper,
+        reducer,
+        partitioner,
+        None::<&IdentityCombiner<M::Key, M::Value>>,
+        inputs,
+    )
+}
+
+/// Shared executor behind the public entry points.
+fn execute<M, R, P, C>(
+    cfg: &JobConfig,
+    mapper: &M,
+    reducer: &R,
+    partitioner: &P,
+    combiner: Option<&C>,
+    inputs: &[M::Input],
+) -> Result<JobResult<R::Output>, MrError>
+where
+    M: Mapper,
+    R: PartitionReducer<Key = M::Key, Value = M::Value>,
+    P: Partitioner<M::Key>,
+    C: Combiner<Key = M::Key, Value = M::Value>,
+{
+    if cfg.cluster.machines == 0
+        || cfg.cluster.map_slots_per_machine == 0
+        || cfg.cluster.reduce_slots_per_machine == 0
+    {
+        return Err(MrError::InvalidCluster(format!(
+            "job '{}': machines and per-machine slots must be positive, got {:?}",
+            cfg.name, cfg.cluster
+        )));
+    }
+
+    let started = Instant::now();
+    let num_map = cfg.map_tasks().min(inputs.len()).max(1);
+    let num_reduce = cfg.reduce_tasks();
+    check_fault_plan(cfg, num_map, num_reduce)?;
+    let threads = cfg
+        .worker_threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
+
+    // ---- Map phase -------------------------------------------------------
+    let ranges = split_ranges(inputs.len(), num_map);
+    let map_outputs: Vec<MapTaskOutput<M::Key, M::Value>> =
+        run_indexed(num_map, threads, TaskKind::Map, |idx| {
+            let (start, end) = ranges[idx];
+            let mut ctx = TaskContext::new(
+                TaskId {
+                    kind: TaskKind::Map,
+                    index: idx,
+                },
+                cfg.cost_model.clone(),
+            );
+            if cfg.charge_framework_costs {
+                ctx.charge(ctx.cost_model.task_startup);
+            }
+            mapper.setup(&mut ctx);
+            let mut emitter = Emitter::new();
+            for input in &inputs[start..end] {
+                if cfg.charge_framework_costs {
+                    ctx.charge(ctx.cost_model.read_per_entity);
+                }
+                mapper.map(input, &mut ctx, &mut emitter);
+            }
+            mapper.cleanup(&mut ctx);
+            let records = emitter.len() as u64;
+            if cfg.charge_framework_costs {
+                ctx.charge(ctx.cost_model.emit_per_record * records as f64);
+            }
+            let mut buckets: Vec<Vec<(M::Key, M::Value)>> =
+                (0..num_reduce).map(|_| Vec::new()).collect();
+            for (k, v) in emitter.into_records() {
+                let p = partitioner.partition(&k, num_reduce).min(num_reduce - 1);
+                buckets[p].push((k, v));
+            }
+            let mut records = records;
+            if let Some(combiner) = combiner {
+                // Map-side pre-aggregation: sort + group + combine each
+                // bucket before it crosses the shuffle.
+                let mut combined_records = 0u64;
+                for bucket in &mut buckets {
+                    let mut taken = std::mem::take(bucket);
+                    taken.sort_by(|a, b| a.0.cmp(&b.0));
+                    ctx.charge(ctx.cost_model.sort_cost(taken.len()));
+                    let mut out: Vec<(M::Key, M::Value)> = Vec::with_capacity(taken.len());
+                    let mut iter = taken.into_iter().peekable();
+                    while let Some((key, first)) = iter.next() {
+                        let mut values = vec![first];
+                        while iter.peek().is_some_and(|(k, _)| *k == key) {
+                            values.push(iter.next().expect("peeked").1);
+                        }
+                        for v in combiner.combine(&key, values) {
+                            out.push((key.clone(), v));
+                        }
+                    }
+                    combined_records += out.len() as u64;
+                    *bucket = out;
+                }
+                ctx.counters.add("combiner_input_records", records);
+                ctx.counters.add("combiner_output_records", combined_records);
+                records = combined_records;
+            }
+            apply_faults(cfg, TaskKind::Map, idx, &mut ctx);
+            MapTaskOutput {
+                buckets,
+                cost: ctx.now(),
+                counters: ctx.counters,
+                events: ctx.events.into_events(),
+                records,
+            }
+        })?;
+
+    let shuffle_records: u64 = map_outputs.iter().map(|m| m.records).sum();
+    let map_costs: Vec<f64> = map_outputs.iter().map(|m| m.cost).collect();
+    let map_phase = PhaseReport::new(map_costs, cfg.cluster.map_slots());
+
+    let mut counters = Counters::new();
+    let mut map_events: Vec<ProgressEvent> = Vec::new();
+    for m in &map_outputs {
+        counters.merge(&m.counters);
+        // Map events are rare (setup-time schedule generation); stamp them at
+        // their task-local time plus job startup.
+        map_events.extend(m.events.iter().map(|e| ProgressEvent {
+            cost: e.cost + cfg.cost_model.job_startup,
+            ..*e
+        }));
+    }
+
+    // ---- Shuffle ---------------------------------------------------------
+    // Gather per-partition records from all map tasks, sort by key (stable,
+    // preserving map-task order among equal keys — Hadoop's merge is also
+    // stable per map output), then group runs of equal keys.
+    let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
+        (0..num_reduce).map(|_| Vec::new()).collect();
+    for m in map_outputs {
+        for (p, bucket) in m.buckets.into_iter().enumerate() {
+            partitions[p].extend(bucket);
+        }
+    }
+    type Grouped<K, V> = Vec<(K, Vec<V>)>;
+    let grouped: Vec<Grouped<M::Key, M::Value>> = partitions
+        .into_iter()
+        .map(|mut records| {
+            records.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut groups: Grouped<M::Key, M::Value> = Vec::new();
+            for (k, v) in records {
+                match groups.last_mut() {
+                    Some((gk, gvs)) if *gk == k => gvs.push(v),
+                    _ => groups.push((k, vec![v])),
+                }
+            }
+            groups
+        })
+        .collect();
+
+    // ---- Reduce phase ----------------------------------------------------
+    type Partition<K, V> = Mutex<Option<Vec<(K, Vec<V>)>>>;
+    let grouped: Vec<Partition<M::Key, M::Value>> =
+        grouped.into_iter().map(|g| Mutex::new(Some(g))).collect();
+    let reduce_outputs: Vec<ReduceTaskOutput<R::Output>> =
+        run_indexed(num_reduce, threads, TaskKind::Reduce, |idx| {
+            let groups = grouped[idx]
+                .lock()
+                .take()
+                .expect("partition consumed twice");
+            let mut ctx = TaskContext::new(
+                TaskId {
+                    kind: TaskKind::Reduce,
+                    index: idx,
+                },
+                cfg.cost_model.clone(),
+            );
+            if cfg.charge_framework_costs {
+                ctx.charge(ctx.cost_model.task_startup);
+                let records: usize = groups.iter().map(|(_, vs)| vs.len()).sum();
+                ctx.charge(ctx.cost_model.shuffle_per_record * records as f64);
+            }
+            let mut out = Vec::new();
+            reducer.reduce_partition(groups, &mut ctx, &mut out);
+            apply_faults(cfg, TaskKind::Reduce, idx, &mut ctx);
+            ReduceTaskOutput {
+                outputs: out,
+                cost: ctx.now(),
+                counters: ctx.counters,
+                events: ctx.events.into_events(),
+            }
+        })?;
+
+    let reduce_costs: Vec<f64> = reduce_outputs.iter().map(|r| r.cost).collect();
+    let reduce_phase = PhaseReport::new(reduce_costs.clone(), cfg.cluster.reduce_slots());
+    let reduce_starts = list_schedule_starts(&reduce_costs, cfg.cluster.reduce_slots());
+    let reduce_base = cfg.cost_model.job_startup + map_phase.makespan;
+
+    let mut timeline = map_events;
+    let mut outputs = Vec::new();
+    let mut outputs_per_task = Vec::with_capacity(reduce_outputs.len());
+    for (idx, r) in reduce_outputs.into_iter().enumerate() {
+        counters.merge(&r.counters);
+        timeline.extend(r.events.into_iter().map(|e| ProgressEvent {
+            cost: e.cost + reduce_base + reduce_starts[idx],
+            ..e
+        }));
+        outputs_per_task.push(r.outputs.len());
+        outputs.extend(r.outputs);
+    }
+    timeline.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+
+    Ok(JobResult {
+        outputs,
+        outputs_per_task,
+        counters,
+        total_virtual_cost: reduce_base + reduce_phase.makespan,
+        map_phase,
+        reduce_phase,
+        timeline,
+        wall_clock: started.elapsed(),
+        shuffle_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ClusterSpec, GroupReducer, Reducer};
+
+    struct KeyMod;
+    impl Mapper for KeyMod {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, input: &u64, ctx: &mut TaskContext, out: &mut Emitter<u64, u64>) {
+            ctx.charge(1.0);
+            out.emit(input % 10, *input);
+        }
+    }
+
+    struct CountValues;
+    impl Reducer for CountValues {
+        type Key = u64;
+        type Value = u64;
+        type Output = (u64, u64);
+        fn reduce(
+            &self,
+            key: &u64,
+            values: Vec<u64>,
+            ctx: &mut TaskContext,
+            out: &mut Vec<(u64, u64)>,
+        ) {
+            ctx.charge(values.len() as f64);
+            ctx.counters.add("values", values.len() as u64);
+            out.push((*key, values.len() as u64));
+        }
+    }
+
+    fn job(machines: usize) -> JobConfig {
+        JobConfig::new("test", ClusterSpec::paper(machines))
+    }
+
+    #[test]
+    fn groups_all_values_per_key() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let result = run_job(&job(2), &KeyMod, &GroupReducer::new(CountValues), &inputs).unwrap();
+        let mut outputs = result.outputs;
+        outputs.sort();
+        assert_eq!(outputs.len(), 10);
+        assert!(outputs.iter().all(|&(_, n)| n == 10));
+        assert_eq!(result.counters.get("values"), 100);
+        assert_eq!(result.shuffle_records, 100);
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_thread_counts() {
+        let inputs: Vec<u64> = (0..500).collect();
+        let mut cfg1 = job(3);
+        cfg1.worker_threads = Some(1);
+        let mut cfg8 = job(3);
+        cfg8.worker_threads = Some(8);
+        let r1 = run_job(&cfg1, &KeyMod, &GroupReducer::new(CountValues), &inputs).unwrap();
+        let r8 = run_job(&cfg8, &KeyMod, &GroupReducer::new(CountValues), &inputs).unwrap();
+        let mut o1 = r1.outputs.clone();
+        let mut o8 = r8.outputs.clone();
+        o1.sort();
+        o8.sort();
+        assert_eq!(o1, o8);
+        assert_eq!(r1.total_virtual_cost, r8.total_virtual_cost);
+        assert_eq!(r1.map_phase.makespan, r8.map_phase.makespan);
+    }
+
+    #[test]
+    fn virtual_cost_decreases_with_more_machines() {
+        let inputs: Vec<u64> = (0..2000).collect();
+        let small = run_job(&job(1), &KeyMod, &GroupReducer::new(CountValues), &inputs).unwrap();
+        let big = run_job(&job(8), &KeyMod, &GroupReducer::new(CountValues), &inputs).unwrap();
+        assert!(
+            big.total_virtual_cost < small.total_virtual_cost,
+            "8 machines ({}) should beat 1 machine ({})",
+            big.total_virtual_cost,
+            small.total_virtual_cost
+        );
+    }
+
+    #[test]
+    fn rejects_zero_machine_cluster() {
+        let cfg = JobConfig::new("bad", ClusterSpec::new(0, 2, 2));
+        let err = run_job(&cfg, &KeyMod, &GroupReducer::new(CountValues), &[1u64]).unwrap_err();
+        assert!(matches!(err, MrError::InvalidCluster(_)));
+    }
+
+    #[test]
+    fn empty_input_runs_clean() {
+        let result = run_job(&job(2), &KeyMod, &GroupReducer::new(CountValues), &[]).unwrap();
+        assert!(result.outputs.is_empty());
+        assert_eq!(result.shuffle_records, 0);
+    }
+
+    struct PanickyMapper;
+    impl Mapper for PanickyMapper {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, input: &u64, _ctx: &mut TaskContext, _out: &mut Emitter<u64, u64>) {
+            if *input == 7 {
+                panic!("bad record");
+            }
+        }
+    }
+
+    #[test]
+    fn task_panic_becomes_error() {
+        let inputs: Vec<u64> = (0..10).collect();
+        let err = run_job(
+            &job(2),
+            &PanickyMapper,
+            &GroupReducer::new(CountValues),
+            &inputs,
+        )
+        .unwrap_err();
+        match err {
+            MrError::TaskPanicked { message, .. } => assert!(message.contains("bad record")),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn reduce_events_land_on_global_timeline() {
+        struct EventReducer;
+        impl Reducer for EventReducer {
+            type Key = u64;
+            type Value = u64;
+            type Output = ();
+            fn reduce(
+                &self,
+                _key: &u64,
+                values: Vec<u64>,
+                ctx: &mut TaskContext,
+                _out: &mut Vec<()>,
+            ) {
+                ctx.charge(values.len() as f64);
+                ctx.log_event(1, values.len() as u64);
+            }
+        }
+        let inputs: Vec<u64> = (0..50).collect();
+        let cfg = job(1);
+        let result = run_job(&cfg, &KeyMod, &GroupReducer::new(EventReducer), &inputs).unwrap();
+        assert!(!result.timeline.is_empty());
+        let base = cfg.cost_model.job_startup + result.map_phase.makespan;
+        assert!(result.timeline.iter().all(|e| e.cost >= base));
+        assert!(result
+            .timeline
+            .windows(2)
+            .all(|w| w[0].cost <= w[1].cost));
+    }
+
+    struct SumCombiner;
+    impl Combiner for SumCombiner {
+        type Key = u64;
+        type Value = u64;
+        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
+            vec![values.into_iter().sum()]
+        }
+    }
+
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        type Key = u64;
+        type Value = u64;
+        type Output = (u64, u64);
+        fn reduce(
+            &self,
+            key: &u64,
+            values: Vec<u64>,
+            ctx: &mut TaskContext,
+            out: &mut Vec<(u64, u64)>,
+        ) {
+            ctx.charge(values.len() as f64);
+            out.push((*key, values.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_without_changing_results() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let cfg = job(2);
+        let plain = run_job(&cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+        let combined = crate::runtime::run_job_with_combiner(
+            &cfg,
+            &KeyMod,
+            &SumCombiner,
+            &GroupReducer::new(SumReducer),
+            &inputs,
+        )
+        .unwrap();
+        let mut a = plain.outputs.clone();
+        let mut b = combined.outputs.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "combiner must not change results");
+        assert!(
+            combined.shuffle_records < plain.shuffle_records,
+            "combiner should shrink the shuffle: {} vs {}",
+            combined.shuffle_records,
+            plain.shuffle_records
+        );
+        assert!(combined.counters.get("combiner_input_records") > 0);
+        assert!(
+            combined.counters.get("combiner_output_records")
+                < combined.counters.get("combiner_input_records")
+        );
+    }
+
+    #[test]
+    fn injected_failures_slow_the_task_but_keep_results() {
+        use crate::faults::FaultPlan;
+        let inputs: Vec<u64> = (0..500).collect();
+        let clean_cfg = job(2);
+        let clean = run_job(&clean_cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+
+        let mut faulty_cfg = job(2);
+        faulty_cfg.faults = Some(FaultPlan::fail_reduce(0, 2));
+        let faulty =
+            run_job(&faulty_cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+
+        let mut a = clean.outputs.clone();
+        let mut b = faulty.outputs.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "retried task must produce identical output");
+        assert!(
+            faulty.reduce_phase.task_costs[0] > clean.reduce_phase.task_costs[0],
+            "failed attempts must waste virtual time"
+        );
+        // Unaffected tasks cost the same.
+        assert_eq!(
+            faulty.reduce_phase.task_costs[1],
+            clean.reduce_phase.task_costs[1]
+        );
+        assert_eq!(faulty.counters.get("task_retries"), 2);
+        assert!(faulty.total_virtual_cost >= clean.total_virtual_cost);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_job() {
+        use crate::faults::FaultPlan;
+        let inputs: Vec<u64> = (0..50).collect();
+        let mut cfg = job(1);
+        cfg.faults = Some(FaultPlan {
+            map_failures: vec![(0, 4)],
+            max_attempts: 4,
+            ..FaultPlan::default()
+        });
+        let err = run_job(&cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap_err();
+        assert!(matches!(err, MrError::TaskFailed { .. }), "{err}");
+    }
+
+    #[test]
+    fn failed_task_events_shift_later() {
+        use crate::faults::FaultPlan;
+        struct EventingReducer;
+        impl Reducer for EventingReducer {
+            type Key = u64;
+            type Value = u64;
+            type Output = ();
+            fn reduce(
+                &self,
+                _key: &u64,
+                values: Vec<u64>,
+                ctx: &mut TaskContext,
+                _out: &mut Vec<()>,
+            ) {
+                ctx.charge(values.len() as f64);
+                ctx.log_event(9, 1);
+            }
+        }
+        let inputs: Vec<u64> = (0..200).collect();
+        let mut cfg = job(1);
+        cfg.num_reduce_tasks = Some(1);
+        let clean = run_job(&cfg, &KeyMod, &GroupReducer::new(EventingReducer), &inputs).unwrap();
+        cfg.faults = Some(FaultPlan::fail_reduce(0, 1));
+        let faulty = run_job(&cfg, &KeyMod, &GroupReducer::new(EventingReducer), &inputs).unwrap();
+        assert_eq!(clean.timeline.len(), faulty.timeline.len());
+        for (c, f) in clean.timeline.iter().zip(&faulty.timeline) {
+            assert!(f.cost > c.cost, "events must shift later under retries");
+        }
+    }
+
+    #[test]
+    fn reduce_skew_measures_imbalance() {
+        let balanced = JobResult::<u32> {
+            outputs: vec![],
+            outputs_per_task: vec![],
+            counters: Counters::new(),
+            map_phase: PhaseReport::new(vec![1.0], 1),
+            reduce_phase: PhaseReport::new(vec![10.0, 10.0, 10.0], 3),
+            timeline: vec![],
+            total_virtual_cost: 0.0,
+            wall_clock: Duration::ZERO,
+            shuffle_records: 0,
+        };
+        assert_eq!(balanced.reduce_skew(), 0.0);
+        let skewed = JobResult::<u32> {
+            reduce_phase: PhaseReport::new(vec![1.0, 1.0, 28.0], 3),
+            ..balanced
+        };
+        assert!(skewed.reduce_skew() > 1.0);
+    }
+
+    #[test]
+    fn split_ranges_cover_input() {
+        for (len, n) in [(10, 3), (0, 4), (5, 5), (7, 10), (100, 1)] {
+            let ranges = split_ranges(len, n);
+            assert_eq!(ranges.len(), n);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Binary spill codec for intermediate records.
+//!
+//! Hadoop serializes every intermediate record to disk between the map and
+//! reduce phases. The simulator keeps records in memory, but jobs that want
+//! realistic shuffle-byte accounting (and a guard against accidentally
+//! emitting unserializable state) can round-trip their records through this
+//! codec. The format is a simple length-delimited little-endian binary
+//! encoding with LEB128 varints.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::MrError;
+
+/// Types that can be written to and read back from a spill buffer.
+pub trait SpillCodec: Sized {
+    /// Append the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode one value from the front of `buf`.
+    fn decode(buf: &mut Bytes) -> Result<Self, MrError>;
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, MrError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(MrError::Spill("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(MrError::Spill("varint overflow".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+impl SpillCodec for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, *self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, MrError> {
+        get_varint(buf)
+    }
+}
+
+impl SpillCodec for u32 {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, u64::from(*self));
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, MrError> {
+        u32::try_from(get_varint(buf)?).map_err(|_| MrError::Spill("u32 overflow".into()))
+    }
+}
+
+impl SpillCodec for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, MrError> {
+        let len = get_varint(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(MrError::Spill("truncated string".into()));
+        }
+        let raw = buf.split_to(len);
+        String::from_utf8(raw.to_vec()).map_err(|e| MrError::Spill(e.to_string()))
+    }
+}
+
+impl<T: SpillCodec> SpillCodec for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.len() as u64);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, MrError> {
+        let len = get_varint(buf)? as usize;
+        // Guard against hostile/corrupt lengths: cap the pre-allocation.
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: SpillCodec, B: SpillCodec> SpillCodec for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, MrError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+/// In-memory spill file: encoded records for one reduce partition.
+///
+/// Tracks total encoded bytes, which jobs surface as a shuffle-size counter.
+#[derive(Debug, Default)]
+pub struct SpillStore {
+    buf: BytesMut,
+    records: usize,
+}
+
+impl SpillStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn push<T: SpillCodec>(&mut self, record: &T) {
+        record.encode(&mut self.buf);
+        self.records += 1;
+    }
+
+    /// Total encoded bytes so far.
+    pub fn bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// True if no record was stored.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Decode all records back out.
+    pub fn drain<T: SpillCodec>(self) -> Result<Vec<T>, MrError> {
+        let mut bytes = self.buf.freeze();
+        let mut out = Vec::with_capacity(self.records);
+        for _ in 0..self.records {
+            out.push(T::decode(&mut bytes)?);
+        }
+        if bytes.has_remaining() {
+            return Err(MrError::Spill("trailing bytes after decode".into()));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: SpillCodec + PartialEq + std::fmt::Debug + Clone>(values: Vec<T>) {
+        let mut store = SpillStore::new();
+        for v in &values {
+            store.push(v);
+        }
+        assert_eq!(store.len(), values.len());
+        let back: Vec<T> = store.drain().unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn round_trip_u64() {
+        round_trip(vec![0u64, 1, 127, 128, 300, u64::MAX]);
+    }
+
+    #[test]
+    fn round_trip_strings() {
+        round_trip(vec![String::new(), "hello".into(), "ünïcode ✓".into()]);
+    }
+
+    #[test]
+    fn round_trip_nested() {
+        round_trip(vec![
+            (42u32, vec!["a".to_string(), "b".to_string()]),
+            (0u32, vec![]),
+        ]);
+    }
+
+    #[test]
+    fn bytes_accounting_grows() {
+        let mut store = SpillStore::new();
+        store.push(&"abc".to_string());
+        let b1 = store.bytes();
+        store.push(&"defgh".to_string());
+        assert!(store.bytes() > b1);
+    }
+
+    #[test]
+    fn truncated_decode_errors() {
+        let mut store = SpillStore::new();
+        store.push(&"hello".to_string());
+        let mut bytes = store.buf.freeze().slice(0..3); // cut mid-record
+        assert!(String::decode(&mut bytes).is_err());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 0x7f, 0x80, 0x3fff, 0x4000, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b).unwrap(), v);
+            assert!(!b.has_remaining());
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # pper-progressive
+//!
+//! Progressive resolution mechanisms — the paper's pluggable `M` (§II-B).
+//!
+//! A mechanism takes a block and yields its entity pairs in an order designed
+//! to surface duplicates early. Two mechanisms from the literature are
+//! implemented, matching the paper's experimental setup (§VI-A3):
+//!
+//! * [`sn::SnHint`] — the Sorted Neighbor algorithm with the sorted-list hint
+//!   of Whang et al. (the paper's ref. [5]): entities are sorted by the
+//!   blocking attribute and pairs are resolved in non-decreasing rank
+//!   distance, up to a window `w`;
+//! * [`psnm::Psnm`] — the Progressive Sorted Neighborhood Method of
+//!   Papenbrock et al. (ref. [6]): the same distance-major base order,
+//!   extended with a duplicate-driven look-ahead that eagerly explores the
+//!   neighborhood of each found duplicate.
+//!
+//! Mechanisms are *resumable and feedback-driven* ([`mechanism::PairSource`])
+//! so the pipeline can stop a block early (§III-A's termination thresholds),
+//! interleave blocks of different trees, and revisit a parent block without
+//! repeating child work.
+//!
+//! [`policy`] holds the stopping rules: the distinct-pair termination
+//! thresholds `Th(X)`/`Frac(X)` and per-level windows of §VI-A5, and the
+//! Popcorn scheme of ref. [5] used by the Basic baseline. [`runner`] executes
+//! one (block, mechanism, stop-rule) combination.
+//!
+//! ```
+//! use pper_progressive::{run_block, Mechanism, SnHint, StopRule};
+//!
+//! // A sorted block of six entities; adjacent ids are duplicates.
+//! let mut source = SnHint.start((0..6).collect(), 3);
+//! let outcome = run_block(
+//!     &mut source,
+//!     StopRule::Exhaust,
+//!     |_, _| true,                  // no redundancy filter
+//!     |a, b| a.abs_diff(b) == 1,    // the resolve/match function
+//! );
+//! assert_eq!(outcome.duplicates.len(), 5);
+//! assert!(outcome.exhausted);
+//! ```
+
+pub mod hierarchy;
+pub mod mechanism;
+pub mod policy;
+pub mod psnm;
+pub mod runner;
+pub mod sn;
+
+pub use hierarchy::HierarchyHint;
+pub use mechanism::{sort_by_attr, sort_by_attrs, Mechanism, PairSource};
+pub use policy::{LevelPolicy, PopcornState, StopRule, StopState};
+pub use psnm::Psnm;
+pub use runner::{run_block, ResolveOutcome};
+pub use sn::SnHint;

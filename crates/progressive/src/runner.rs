@@ -1,0 +1,150 @@
+//! Executes one (block, mechanism, stop-rule) combination.
+//!
+//! [`run_block`] drives a [`PairSource`] against a resolve function until the
+//! stop rule fires or the source is exhausted, skipping pairs the caller
+//! marks as not-to-resolve (already resolved in a child block, or owned by a
+//! different responsible tree — the SHOULD-RESOLVE check of §V).
+
+use pper_datagen::EntityId;
+
+use crate::mechanism::PairSource;
+use crate::policy::{StopRule, StopState};
+
+/// What happened while (partially) resolving one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveOutcome {
+    /// Duplicate pairs found, in discovery order.
+    pub duplicates: Vec<(EntityId, EntityId)>,
+    /// Pairs actually compared (excludes skipped pairs).
+    pub comparisons: u64,
+    /// Pairs skipped by the `should_resolve` filter.
+    pub skipped: u64,
+    /// Distinct (non-duplicate) pairs among the comparisons.
+    pub distinct: u64,
+    /// True if the source ran dry; false if the stop rule fired first.
+    pub exhausted: bool,
+}
+
+/// Drive `source` until `stop` fires or the ordering is exhausted.
+///
+/// * `should_resolve(a, b)` — return `false` to skip the pair entirely (no
+///   comparison cost, no feedback); used for redundancy-free resolution and
+///   for skipping pairs already resolved in child blocks.
+/// * `resolve(a, b)` — the match function; returns whether the pair is a
+///   duplicate. The caller charges its own cost per invocation.
+pub fn run_block<S: PairSource>(
+    source: &mut S,
+    stop: StopRule,
+    mut should_resolve: impl FnMut(EntityId, EntityId) -> bool,
+    mut resolve: impl FnMut(EntityId, EntityId) -> bool,
+) -> ResolveOutcome {
+    let mut state = StopState::new(stop);
+    let mut out = ResolveOutcome {
+        duplicates: Vec::new(),
+        comparisons: 0,
+        skipped: 0,
+        distinct: 0,
+        exhausted: false,
+    };
+    loop {
+        let Some((a, b)) = source.next_pair() else {
+            out.exhausted = true;
+            return out;
+        };
+        if !should_resolve(a, b) {
+            out.skipped += 1;
+            continue;
+        }
+        let is_dup = resolve(a, b);
+        source.feedback(is_dup);
+        out.comparisons += 1;
+        if is_dup {
+            out.duplicates.push((a, b));
+        } else {
+            out.distinct += 1;
+        }
+        if state.observe(is_dup) {
+            return out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::StopRule;
+    use crate::sn::SnHint;
+    use crate::Mechanism;
+
+    fn dup_if_close(a: EntityId, b: EntityId) -> bool {
+        a.abs_diff(b) == 1
+    }
+
+    #[test]
+    fn exhausts_small_block() {
+        let mut src = SnHint.start((0..5).collect(), 4);
+        let out = run_block(&mut src, StopRule::Exhaust, |_, _| true, dup_if_close);
+        assert!(out.exhausted);
+        assert_eq!(out.comparisons, 10);
+        assert_eq!(out.duplicates.len(), 4); // (0,1),(1,2),(2,3),(3,4)
+        assert_eq!(out.distinct, 6);
+        assert_eq!(out.skipped, 0);
+    }
+
+    #[test]
+    fn distinct_budget_stops_early() {
+        let mut src = SnHint.start((0..100).collect(), 50);
+        let out = run_block(
+            &mut src,
+            StopRule::DistinctBudget(5),
+            |_, _| true,
+            |_, _| false, // nothing matches: budget burns fast
+        );
+        assert!(!out.exhausted);
+        assert_eq!(out.distinct, 6); // budget exceeded at 6 > 5
+        assert_eq!(out.comparisons, 6);
+    }
+
+    #[test]
+    fn skipped_pairs_cost_nothing_and_dont_stop() {
+        let mut src = SnHint.start((0..10).collect(), 9);
+        let out = run_block(
+            &mut src,
+            StopRule::DistinctBudget(2),
+            |a, b| (a + b) % 2 == 0, // skip half the pairs
+            dup_if_close,
+        );
+        assert!(out.skipped > 0);
+        // Budget counts only compared distinct pairs.
+        assert!(out.distinct <= 3);
+    }
+
+    #[test]
+    fn popcorn_stops_on_dry_streak() {
+        // Distance-1 pairs are duplicates (first 19 comparisons on a
+        // 20-entity block), then everything is distinct: popcorn with a
+        // window of 10 should stop well before exhausting all pairs.
+        let mut src = SnHint.start((0..20).collect(), 19);
+        let out = run_block(
+            &mut src,
+            StopRule::Popcorn {
+                threshold: 0.2,
+                window: 10,
+            },
+            |_, _| true,
+            dup_if_close,
+        );
+        assert!(!out.exhausted);
+        assert_eq!(out.duplicates.len(), 19);
+        let total_pairs = 20 * 19 / 2;
+        assert!(out.comparisons < total_pairs / 2);
+    }
+
+    #[test]
+    fn duplicates_reported_in_discovery_order() {
+        let mut src = SnHint.start(vec![4, 3, 2, 1, 0], 4);
+        let out = run_block(&mut src, StopRule::Exhaust, |_, _| true, dup_if_close);
+        // Distance-1 pairs come first, in list order.
+        assert_eq!(&out.duplicates[..4], &[(4, 3), (3, 2), (2, 1), (1, 0)]);
+    }
+}

@@ -1,0 +1,157 @@
+//! The Sorted Neighbor mechanism with the sorted-list hint (§II-B).
+//!
+//! Entities are sorted by the blocking attribute; pairs are resolved in
+//! non-decreasing `distance(⟨e_i, e_j⟩) = |rank(e_i) − rank(e_j)|`, i.e. all
+//! distance-1 pairs in list order, then all distance-2 pairs, …, up to the
+//! window `w`. "The closer the entities are to each other in the sorted
+//! list, the more likely they are to be duplicates of each other."
+
+use pper_datagen::EntityId;
+
+use crate::mechanism::{Mechanism, PairSource};
+
+/// The SN mechanism. Stateless; per-block state lives in [`SnRun`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SnHint;
+
+/// Pair stream for one block under [`SnHint`].
+#[derive(Debug)]
+pub struct SnRun {
+    order: Vec<EntityId>,
+    window: usize,
+    /// Current rank distance (1-based).
+    d: usize,
+    /// Current left index within the current distance sweep.
+    i: usize,
+}
+
+impl Mechanism for SnHint {
+    type Run = SnRun;
+
+    fn start(&self, sorted: Vec<EntityId>, window: usize) -> SnRun {
+        SnRun {
+            window: window.min(sorted.len().saturating_sub(1)),
+            order: sorted,
+            d: 1,
+            i: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sn-hint"
+    }
+}
+
+impl PairSource for SnRun {
+    fn next_pair(&mut self) -> Option<(EntityId, EntityId)> {
+        loop {
+            if self.d > self.window || self.order.len() < 2 {
+                return None;
+            }
+            if self.i + self.d < self.order.len() {
+                let pair = (self.order[self.i], self.order[self.i + self.d]);
+                self.i += 1;
+                return Some(pair);
+            }
+            self.d += 1;
+            self.i = 0;
+        }
+    }
+
+    fn feedback(&mut self, _is_duplicate: bool) {
+        // SN's ordering is static: feedback is ignored.
+    }
+
+    fn remaining_hint(&self) -> u64 {
+        if self.order.len() < 2 || self.d > self.window {
+            return 0;
+        }
+        let n = self.order.len() as u64;
+        let mut remaining = (n - self.d as u64).saturating_sub(self.i as u64);
+        for d in (self.d + 1)..=self.window {
+            remaining += n.saturating_sub(d as u64);
+        }
+        remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(run: &mut SnRun) -> Vec<(EntityId, EntityId)> {
+        let mut out = Vec::new();
+        while let Some(p) = run.next_pair() {
+            run.feedback(false);
+            out.push(p);
+        }
+        out
+    }
+
+    #[test]
+    fn paper_example_order() {
+        // Sorted list [e3, e2, e4, e1] (paper ids; ours 3,2,4,1): ⟨e3,e2⟩
+        // precedes ⟨e3,e4⟩ because distance 1 < 2.
+        let mut run = SnHint.start(vec![3, 2, 4, 1], 3);
+        let pairs = drain(&mut run);
+        assert_eq!(
+            pairs,
+            vec![(3, 2), (2, 4), (4, 1), (3, 4), (2, 1), (3, 1)]
+        );
+    }
+
+    #[test]
+    fn window_limits_distance() {
+        let mut run = SnHint.start(vec![0, 1, 2, 3], 1);
+        assert_eq!(drain(&mut run), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn window_clamps_to_block_size() {
+        let mut run = SnHint.start(vec![0, 1], 100);
+        assert_eq!(drain(&mut run), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn empty_and_singleton_blocks_yield_nothing() {
+        assert!(SnHint.start(vec![], 5).next_pair().is_none());
+        assert!(SnHint.start(vec![7], 5).next_pair().is_none());
+    }
+
+    #[test]
+    fn yields_each_pair_once_and_covers_window() {
+        let n = 20;
+        let w = 7;
+        let mut run = SnHint.start((0..n).collect(), w as usize);
+        let pairs = drain(&mut run);
+        let expected: u64 = SnHint.full_pairs(n as usize, w as usize);
+        assert_eq!(pairs.len() as u64, expected);
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in &pairs {
+            assert!(seen.insert((*a, *b)), "pair ({a},{b}) yielded twice");
+            assert!(b - a >= 1 && b - a <= w);
+        }
+        // Distance-major: distances never decrease.
+        let mut last_d = 0;
+        for (a, b) in &pairs {
+            let d = b - a;
+            assert!(d >= last_d || d == last_d, "ordering regressed");
+            if d > last_d {
+                last_d = d;
+            }
+        }
+    }
+
+    #[test]
+    fn remaining_hint_counts_down_exactly() {
+        let mut run = SnHint.start((0..10).collect(), 3);
+        let mut expected = SnHint.full_pairs(10, 3);
+        assert_eq!(run.remaining_hint(), expected);
+        while run.next_pair().is_some() {
+            run.feedback(false);
+            expected -= 1;
+            assert_eq!(run.remaining_hint(), expected);
+        }
+        assert_eq!(expected, 0);
+    }
+}

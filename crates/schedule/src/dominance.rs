@@ -1,0 +1,390 @@
+//! Redundancy-free resolution support (§V): dominance values, the
+//! `List(e, X)` construction, and the `SHOULD-RESOLVE` check (Fig. 7).
+//!
+//! Every tree carries a unique dominance value `Dom(T)`. The map phase of
+//! the second job attaches to each emitted entity a *dominance list*:
+//!
+//! * position `j < n` holds `Dom` of the family-`j` tree relevant to the
+//!   entity — the tree being emitted to when `j` is the tree's own family,
+//!   otherwise the family-`j` *root* tree containing the entity;
+//! * an optional position `n` (the paper's `(n+1)`-st, 1-based) holds `Dom`
+//!   of the highest split-off sub-tree below the current tree that still
+//!   contains the entity.
+//!
+//! At the reduce side, `SHOULD-RESOLVE` compares two entities' lists: a pair
+//! is skipped when a more dominating family's tree owns it (loop over
+//! positions `0..family`), or when both entities fall into the same split
+//! sub-tree (which resolves the pair fully itself).
+
+use std::collections::HashMap;
+
+use pper_blocking::{BlockingFamily, FamilyIndex};
+use pper_datagen::Entity;
+use pper_mapreduce::fxhash::hash_one;
+use serde::{Deserialize, Serialize};
+
+use crate::plan::Schedule;
+
+/// Dominance list attached to one (entity, tree) emission. Length is the
+/// number of main blocking functions `n`, or `n + 1` when a split sub-tree
+/// below the tree contains the entity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomList(pub Vec<u64>);
+
+/// High bit marking sentinel values for entities whose root block of some
+/// family was eliminated (singleton blocks form no tree). Two entities can
+/// only share a sentinel if they share the eliminated key — impossible,
+/// since a shared key means ≥ 2 members and hence a real tree — modulo a
+/// 2⁻⁶⁴ hash collision between different keys, which we accept.
+const SENTINEL_BIT: u64 = 1 << 63;
+
+fn sentinel(family: FamilyIndex, key: &str) -> u64 {
+    hash_one(&(family as u64, key)) | SENTINEL_BIT
+}
+
+/// Locates the trees of a [`Schedule`] from entity blocking keys.
+#[derive(Debug, Clone)]
+pub struct TreeLocator {
+    /// `(family, root_level, root_key) → tree index`.
+    roots: HashMap<(usize, usize, String), usize>,
+    /// Per family: sorted distinct levels at which tree roots exist.
+    levels: Vec<Vec<usize>>,
+    num_families: usize,
+}
+
+impl TreeLocator {
+    /// Index all tree roots of `schedule` for `num_families` families.
+    pub fn new(schedule: &Schedule, num_families: usize) -> Self {
+        let mut roots = HashMap::with_capacity(schedule.trees.len());
+        let mut levels = vec![Vec::new(); num_families];
+        for (t, tree) in schedule.trees.iter().enumerate() {
+            roots.insert(
+                (tree.family, tree.root_level, tree.root_key().to_string()),
+                t,
+            );
+            if !levels[tree.family].contains(&tree.root_level) {
+                levels[tree.family].push(tree.root_level);
+            }
+        }
+        for l in &mut levels {
+            l.sort_unstable();
+        }
+        Self {
+            roots,
+            levels,
+            num_families,
+        }
+    }
+
+    /// Tree containing the block rooted at `(family, level, key)`, if any.
+    pub fn tree_at(&self, family: FamilyIndex, level: usize, key: &str) -> Option<usize> {
+        self.roots.get(&(family, level, key.to_string())).copied()
+    }
+
+    /// All trees containing `entity`: for each family, the root tree (if it
+    /// exists) plus every split sub-tree whose root block contains the
+    /// entity.
+    pub fn trees_of_entity(&self, families: &[BlockingFamily], entity: &Entity) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (f, family) in families.iter().enumerate() {
+            for &level in &self.levels[f] {
+                if level >= family.depth() {
+                    continue;
+                }
+                let key = family.key_at(entity, level);
+                if let Some(t) = self.tree_at(f, level, &key) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Build `List(entity, tree)` (§V).
+    ///
+    /// `tree` must contain the entity (i.e. come from
+    /// [`TreeLocator::trees_of_entity`]).
+    pub fn dom_list(
+        &self,
+        schedule: &Schedule,
+        families: &[BlockingFamily],
+        entity: &Entity,
+        tree: usize,
+    ) -> DomList {
+        let own_family = schedule.trees[tree].family;
+        let mut list = Vec::with_capacity(self.num_families + 1);
+        for (f, family) in families.iter().enumerate() {
+            if f == own_family {
+                list.push(schedule.dom[tree]);
+            } else {
+                let key = family.root_key(entity);
+                match self.tree_at(f, 0, &key) {
+                    Some(t) => list.push(schedule.dom[t]),
+                    None => list.push(sentinel(f, &key)),
+                }
+            }
+        }
+        // Highest split-root descendant of `tree` containing the entity.
+        let own_level = schedule.trees[tree].root_level;
+        let family = &families[own_family];
+        for &level in &self.levels[own_family] {
+            if level <= own_level || level >= family.depth() {
+                continue;
+            }
+            let key = family.key_at(entity, level);
+            if let Some(t) = self.tree_at(own_family, level, &key) {
+                if t != tree {
+                    list.push(schedule.dom[t]);
+                    break; // smallest deeper level = highest descendant
+                }
+            }
+        }
+        DomList(list)
+    }
+}
+
+/// `SHOULD-RESOLVE` (Fig. 7): is the tree of blocking family `family`
+/// responsible for resolving the pair `(a, b)`?
+///
+/// * positions `0..family` — if the entities share a more-dominating
+///   family's tree, that tree resolves the pair: skip;
+/// * position `n_families` (present only when a split descendant exists) —
+///   if both entities fall into the same split sub-tree, it resolves the
+///   pair fully itself: skip.
+pub fn should_resolve(a: &DomList, b: &DomList, family: FamilyIndex, n_families: usize) -> bool {
+    for m in 0..family {
+        if a.0[m] == b.0[m] {
+            return false;
+        }
+    }
+    if a.0.len() > n_families && b.0.len() > n_families && a.0[n_families] == b.0[n_families] {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::EstimationContext;
+    use crate::generate::{generate_schedule, ScheduleConfig};
+    use crate::probmodel::HeuristicProb;
+    use pper_blocking::{build_forests, presets, DatasetStats};
+    use pper_datagen::{toy_people, PubGen};
+    use pper_mapreduce::CostModel;
+    use pper_progressive::LevelPolicy;
+
+    fn toy_schedule() -> (Schedule, Vec<BlockingFamily>, pper_datagen::Dataset) {
+        let ds = toy_people();
+        let families = presets::toy_families();
+        let forests = build_forests(&ds, &families);
+        let stats = DatasetStats::from_forests(&ds, &families, &forests);
+        let policy = LevelPolicy::citeseer();
+        let cm = CostModel::default();
+        let prob = HeuristicProb::default();
+        let ctx = EstimationContext {
+            dataset_size: ds.len(),
+            policy: &policy,
+            cost_model: &cm,
+            prob: &prob,
+        };
+        let schedule = generate_schedule(&stats, &ctx, &ScheduleConfig::new(2));
+        (schedule, families, ds)
+    }
+
+    #[test]
+    fn locator_finds_root_trees() {
+        let (schedule, families, ds) = toy_schedule();
+        let locator = TreeLocator::new(&schedule, families.len());
+        // e1 (id 0, "John Lopez", HI): in X-tree "jo" and Y-tree "hi".
+        let trees = locator.trees_of_entity(&families, ds.entity(0));
+        let keys: Vec<(usize, &str)> = trees
+            .iter()
+            .map(|&t| (schedule.trees[t].family, schedule.trees[t].root_key()))
+            .collect();
+        assert!(keys.contains(&(0, "jo")));
+        assert!(keys.contains(&(1, "hi")));
+    }
+
+    #[test]
+    fn shared_pair_resolved_only_in_dominating_family() {
+        // e1, e2 share the X-tree "jo" AND the Y-tree "hi". X dominates Y, so
+        // the pair must be resolved in "jo" and skipped in "hi".
+        let (schedule, families, ds) = toy_schedule();
+        let locator = TreeLocator::new(&schedule, families.len());
+        let n = families.len();
+
+        let x_tree = (0..schedule.trees.len())
+            .find(|&t| schedule.trees[t].family == 0 && schedule.trees[t].root_key() == "jo")
+            .unwrap();
+        let y_tree = (0..schedule.trees.len())
+            .find(|&t| schedule.trees[t].family == 1 && schedule.trees[t].root_key() == "hi")
+            .unwrap();
+
+        let lx0 = locator.dom_list(&schedule, &families, ds.entity(0), x_tree);
+        let lx1 = locator.dom_list(&schedule, &families, ds.entity(1), x_tree);
+        assert!(should_resolve(&lx0, &lx1, 0, n), "X must resolve the pair");
+
+        let ly0 = locator.dom_list(&schedule, &families, ds.entity(0), y_tree);
+        let ly1 = locator.dom_list(&schedule, &families, ds.entity(1), y_tree);
+        assert!(!should_resolve(&ly0, &ly1, 1, n), "Y must skip the pair");
+    }
+
+    #[test]
+    fn pair_not_shared_is_resolved_by_lower_family() {
+        // e4 ("Charles", LA) and e5 ("Gharles", LA): different X root blocks,
+        // same Y-tree "la" — Y must resolve it.
+        let (schedule, families, ds) = toy_schedule();
+        let locator = TreeLocator::new(&schedule, families.len());
+        let n = families.len();
+        let y_tree = (0..schedule.trees.len())
+            .find(|&t| schedule.trees[t].family == 1 && schedule.trees[t].root_key() == "la")
+            .unwrap();
+        let l4 = locator.dom_list(&schedule, &families, ds.entity(3), y_tree);
+        let l5 = locator.dom_list(&schedule, &families, ds.entity(4), y_tree);
+        assert!(should_resolve(&l4, &l5, 1, n));
+    }
+
+    #[test]
+    fn every_co_blocked_pair_has_exactly_one_responsible_tree() {
+        // Global invariant on a real dataset: for every pair sharing at least
+        // one root block, exactly one of the trees containing the pair passes
+        // SHOULD-RESOLVE at the root level (splits aside, which the er-core
+        // integration tests cover end to end).
+        let ds = PubGen::new(800, 51).generate();
+        let families = presets::citeseer_families();
+        let forests = build_forests(&ds, &families);
+        let stats = DatasetStats::from_forests(&ds, &families, &forests);
+        let policy = LevelPolicy::citeseer();
+        let cm = CostModel::default();
+        let prob = HeuristicProb::default();
+        let ctx = EstimationContext {
+            dataset_size: ds.len(),
+            policy: &policy,
+            cost_model: &cm,
+            prob: &prob,
+        };
+        let mut cfg = ScheduleConfig::new(4);
+        cfg.scheduler = crate::generate::TreeScheduler::NoSplit; // root-level check
+        let schedule = generate_schedule(&stats, &ctx, &cfg);
+        let locator = TreeLocator::new(&schedule, families.len());
+        let n = families.len();
+
+        let mut checked = 0;
+        for a in 0..200u32 {
+            for b in (a + 1)..200u32 {
+                let ea = ds.entity(a);
+                let eb = ds.entity(b);
+                let ta = locator.trees_of_entity(&families, ea);
+                let tb = locator.trees_of_entity(&families, eb);
+                let shared: Vec<usize> =
+                    ta.iter().copied().filter(|t| tb.contains(t)).collect();
+                if shared.is_empty() {
+                    continue;
+                }
+                let responsible = shared
+                    .iter()
+                    .filter(|&&t| {
+                        let f = schedule.trees[t].family;
+                        let la = locator.dom_list(&schedule, &families, ea, t);
+                        let lb = locator.dom_list(&schedule, &families, eb, t);
+                        should_resolve(&la, &lb, f, n)
+                    })
+                    .count();
+                assert_eq!(
+                    responsible, 1,
+                    "pair ({a},{b}) shared by {shared:?} has {responsible} responsible trees"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 50, "expected many co-blocked pairs, got {checked}");
+    }
+
+    #[test]
+    fn split_subtree_takes_over_its_pairs() {
+        // Force splits on a skewed dataset and verify: when both entities of
+        // a pair fall inside a split sub-tree, the parent tree skips the
+        // pair and the split tree resolves it.
+        let ds = PubGen::new(6_000, 52).generate();
+        let families = presets::citeseer_families();
+        let forests = build_forests(&ds, &families);
+        let stats = DatasetStats::from_forests(&ds, &families, &forests);
+        let policy = LevelPolicy::citeseer();
+        let cm = CostModel::default();
+        let prob = HeuristicProb::default();
+        let ctx = EstimationContext {
+            dataset_size: ds.len(),
+            policy: &policy,
+            cost_model: &cm,
+            prob: &prob,
+        };
+        let schedule = generate_schedule(&stats, &ctx, &ScheduleConfig::new(8));
+        let split_tree = (0..schedule.trees.len())
+            .find(|&t| schedule.trees[t].root_level > 0)
+            .expect("expected at least one split on skewed data");
+        let tree = &schedule.trees[split_tree];
+        let family = tree.family;
+        let fam = &families[family];
+        let n = families.len();
+        let locator = TreeLocator::new(&schedule, families.len());
+
+        // Find the parent tree (root tree with the same origin key).
+        let parent_tree = (0..schedule.trees.len())
+            .find(|&t| {
+                schedule.trees[t].family == family
+                    && schedule.trees[t].root_level == 0
+                    && schedule.trees[t].origin_root_key == tree.origin_root_key
+            })
+            .expect("parent tree exists");
+
+        // Two entities inside the split tree's root block.
+        let level = tree.root_level;
+        let key = tree.root_key();
+        let inside: Vec<u32> = ds
+            .entities
+            .iter()
+            .filter(|e| fam.key_at(e, level) == key)
+            .map(|e| e.id)
+            .take(2)
+            .collect();
+        assert_eq!(inside.len(), 2, "split root should have >= 2 members");
+        let (a, b) = (inside[0], inside[1]);
+
+        let pa = locator.dom_list(&schedule, &families, ds.entity(a), parent_tree);
+        let pb = locator.dom_list(&schedule, &families, ds.entity(b), parent_tree);
+        assert!(
+            !should_resolve(&pa, &pb, family, n),
+            "parent tree must skip pairs owned by its split sub-tree"
+        );
+
+        let sa = locator.dom_list(&schedule, &families, ds.entity(a), split_tree);
+        let sb = locator.dom_list(&schedule, &families, ds.entity(b), split_tree);
+        // The split tree resolves it unless an even deeper split owns it.
+        let deeper_owns = sa.0.len() > n && sb.0.len() > n && sa.0[n] == sb.0[n];
+        assert!(
+            should_resolve(&sa, &sb, family, n) || deeper_owns,
+            "split tree (or a deeper split) must own the pair"
+        );
+    }
+
+    #[test]
+    fn sentinels_do_not_collide_for_distinct_keys() {
+        assert_ne!(sentinel(0, "ab"), sentinel(0, "cd"));
+        assert_ne!(sentinel(0, "ab"), sentinel(1, "ab"));
+        assert!(sentinel(0, "ab") & SENTINEL_BIT != 0);
+    }
+
+    #[test]
+    fn paper_list_example_shape() {
+        // §V example: T(X²₁) split from T(X¹₁), T(X³₁) split from T(X²₁);
+        // List(e1, X²₁) = [Dom(T(X²₁)), Dom(T(Y¹₁)), Dom(T(X³₁))].
+        // Shape check: own-family slot first (family order), then the split
+        // descendant appended at position n.
+        let (schedule, families, ds) = toy_schedule();
+        let locator = TreeLocator::new(&schedule, families.len());
+        let tree = locator.trees_of_entity(&families, ds.entity(0))[0];
+        let list = locator.dom_list(&schedule, &families, ds.entity(0), tree);
+        assert!(list.0.len() == families.len() || list.0.len() == families.len() + 1);
+    }
+}

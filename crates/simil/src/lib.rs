@@ -1,0 +1,42 @@
+//! # pper-simil
+//!
+//! String-similarity kernels and weighted match rules for entity resolution.
+//!
+//! The paper resolves a pair of entities by applying "similarity functions on
+//! multiple individual attributes and then [using] the weighted summation of
+//! the attribute similarities to decide whether the two entities co-refer"
+//! (§VI-A2): edit distance for free-text attributes (with the abstract
+//! attribute capped at its first 350 characters) and exact matching for
+//! categorical ones. This crate implements those kernels plus Jaro/
+//! Jaro-Winkler and token Jaccard alternatives, and the [`MatchRule`]
+//! combinator that turns per-attribute scores into a co-reference decision.
+//!
+//! All similarity functions return scores in `[0, 1]` where `1.0` means
+//! identical.
+//!
+//! ```
+//! use pper_simil::{AttributeSim, MatchRule, WeightedAttr};
+//!
+//! let rule = MatchRule::new(
+//!     vec![
+//!         WeightedAttr::new(0, 0.7, AttributeSim::Levenshtein { max_chars: None }),
+//!         WeightedAttr::new(1, 0.3, AttributeSim::Exact),
+//!     ],
+//!     0.8,
+//! );
+//! let a = vec!["John Lopez".to_string(), "HI".to_string()];
+//! let b = vec!["John Lopes".to_string(), "HI".to_string()];
+//! assert!(rule.matches(&a, &b));
+//! ```
+
+pub mod jaro;
+pub mod levenshtein;
+pub mod phonetic;
+pub mod rule;
+pub mod tokens;
+
+pub use jaro::{jaro, jaro_winkler};
+pub use phonetic::{soundex, soundex_similarity};
+pub use levenshtein::{levenshtein, levenshtein_bounded, levenshtein_similarity};
+pub use rule::{AttributeSim, MatchRule, WeightedAttr};
+pub use tokens::{jaccard_tokens, qgram_similarity};

@@ -1,0 +1,119 @@
+//! Token- and q-gram-based set similarities, used for long free-text
+//! attributes where character-level edit distance is too strict (e.g.
+//! author lists with reordered names).
+
+use std::collections::HashSet;
+
+/// Jaccard similarity over lowercase whitespace tokens: `|A∩B| / |A∪B|`.
+/// Two strings with no tokens at all are identical (1.0).
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let ta: HashSet<String> = a.split_whitespace().map(str::to_lowercase).collect();
+    let tb: HashSet<String> = b.split_whitespace().map(str::to_lowercase).collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    let union = ta.len() + tb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Positional q-grams of `s` (as owned char windows). A string shorter than
+/// `q` yields itself as its single gram.
+fn qgrams(s: &str, q: usize) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < q {
+        return vec![chars.iter().collect()];
+    }
+    chars.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Dice coefficient over bag-of-q-grams: `2·|A∩B| / (|A|+|B|)` with multiset
+/// intersection. Robust to small local edits in long strings.
+///
+/// # Panics
+/// Panics if `q == 0`.
+pub fn qgram_similarity(a: &str, b: &str, q: usize) -> f64 {
+    assert!(q > 0, "q must be positive");
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let ga = qgrams(a, q);
+    let gb = qgrams(b, q);
+    let mut counts: std::collections::HashMap<&str, isize> = std::collections::HashMap::new();
+    for g in &ga {
+        *counts.entry(g.as_str()).or_insert(0) += 1;
+    }
+    let mut inter = 0usize;
+    for g in &gb {
+        if let Some(c) = counts.get_mut(g.as_str()) {
+            if *c > 0 {
+                *c -= 1;
+                inter += 1;
+            }
+        }
+    }
+    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn jaccard_basic() {
+        assert_eq!(jaccard_tokens("a b c", "a b c"), 1.0);
+        assert_eq!(jaccard_tokens("a b", "c d"), 0.0);
+        assert_eq!(jaccard_tokens("a b c d", "a b"), 0.5);
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaccard_case_insensitive_and_order_free() {
+        assert_eq!(jaccard_tokens("John Smith", "smith JOHN"), 1.0);
+    }
+
+    #[test]
+    fn qgram_basic() {
+        assert_eq!(qgram_similarity("abcd", "abcd", 2), 1.0);
+        assert_eq!(qgram_similarity("", "", 2), 1.0);
+        assert!(qgram_similarity("night", "nacht", 2) > 0.0);
+        assert!(qgram_similarity("night", "nacht", 2) < 1.0);
+    }
+
+    #[test]
+    fn qgram_short_strings() {
+        // Strings shorter than q degrade to whole-string comparison.
+        assert_eq!(qgram_similarity("a", "a", 3), 1.0);
+        assert_eq!(qgram_similarity("a", "b", 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be positive")]
+    fn qgram_rejects_zero_q() {
+        let _ = qgram_similarity("a", "b", 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_jaccard_unit_and_symmetric(a in "[a-c ]{0,20}", b in "[a-c ]{0,20}") {
+            let s = jaccard_tokens(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert_eq!(s, jaccard_tokens(&b, &a));
+        }
+
+        #[test]
+        fn prop_qgram_unit_and_symmetric(a in "[a-c]{0,20}", b in "[a-c]{0,20}", q in 1usize..4) {
+            let s = qgram_similarity(&a, &b, q);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - qgram_similarity(&b, &a, q)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_identity(a in "[a-z ]{0,20}", q in 1usize..4) {
+            prop_assert_eq!(jaccard_tokens(&a, &a), 1.0);
+            prop_assert_eq!(qgram_similarity(&a, &a, q), 1.0);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Incremental resolution over arriving batches — the paper's "continually
+//! collect, clean, and analyze" scenario (§I), with per-batch work and
+//! recall reported after every ingestion.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example streaming_batches
+//! ```
+
+use pper::blocking::presets;
+use pper::datagen::PubGen;
+use pper::er::{IncrementalEr, MechanismKind};
+use pper::progressive::LevelPolicy;
+use pper::simil::{AttributeSim, MatchRule, WeightedAttr};
+
+fn main() {
+    let total: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10_000);
+    let batch_size = total / 10;
+
+    let ds = PubGen::new(total, 77).generate();
+    println!(
+        "streaming {} entities in batches of {batch_size} ({} true pairs overall)",
+        ds.len(),
+        ds.truth.total_duplicate_pairs()
+    );
+
+    let rule = MatchRule::new(
+        vec![
+            WeightedAttr::new(0, 0.55, AttributeSim::Levenshtein { max_chars: None }),
+            WeightedAttr::new(
+                1,
+                0.25,
+                AttributeSim::Levenshtein {
+                    max_chars: Some(350),
+                },
+            ),
+            WeightedAttr::new(2, 0.20, AttributeSim::Levenshtein { max_chars: None }),
+        ],
+        0.82,
+    );
+    let mut er = IncrementalEr::new(
+        presets::citeseer_families(),
+        rule,
+        LevelPolicy::citeseer(),
+        MechanismKind::Sn,
+    );
+
+    println!(
+        "\n{:>6} {:>10} {:>14} {:>12} {:>10}",
+        "batch", "entities", "comparisons", "new dups", "recall"
+    );
+    for chunk in ds.entities.chunks(batch_size) {
+        let batch: Vec<(Vec<String>, u32)> = chunk
+            .iter()
+            .map(|e| (e.attrs.clone(), ds.truth.cluster(e.id)))
+            .collect();
+        let outcome = er.ingest(batch);
+        println!(
+            "{:>6} {:>10} {:>14} {:>12} {:>10.3}",
+            outcome.batch,
+            er.len(),
+            outcome.comparisons,
+            outcome.new_duplicates.len(),
+            er.recall()
+        );
+    }
+    println!(
+        "\naccumulated {} duplicate pairs over {} entities; final recall {:.3}",
+        er.duplicates().len(),
+        er.len(),
+        er.recall()
+    );
+}

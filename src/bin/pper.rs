@@ -1,0 +1,255 @@
+//! `pper` — command-line front end for the parallel progressive ER pipeline.
+//!
+//! ```text
+//! pper gen  --kind pubs|books --entities N --seed S --out data.jsonl
+//! pper run  --data data.jsonl [--machines M] [--mechanism sn|psnm|hierarchy]
+//!           [--scheduler ours|nosplit|lpt] [--budget COST] [--cluster tc|cc]
+//! pper basic --data data.jsonl [--window W] [--threshold T] [--machines M]
+//! ```
+//!
+//! `gen` writes a synthetic dataset (entities + exact ground truth) as
+//! JSON-lines; `run` executes the paper's two-job pipeline and prints the
+//! recall curve; `basic` runs the §II-C baseline for comparison.
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use pper::datagen::{BookGen, Dataset, PubGen};
+use pper::er::{
+    correlation_clustering, run_with_budget, transitive_closure, BasicApproach, BasicConfig,
+    ClusterMetrics, ErConfig, MechanismKind, ProgressiveEr,
+};
+use pper::schedule::TreeScheduler;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command.as_str() {
+        "gen" => cmd_gen(&opts),
+        "run" => cmd_run(&opts),
+        "basic" => cmd_basic(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pper — parallel progressive entity resolution (Altowim & Mehrotra, ICDE 2017)
+
+USAGE:
+  pper gen   --kind pubs|books --entities N [--seed S] --out FILE
+  pper run   --data FILE [--machines M] [--mechanism sn|psnm|hierarchy]
+             [--scheduler ours|nosplit|lpt] [--budget COST] [--cluster tc|cc]
+  pper basic --data FILE [--machines M] [--window W] [--threshold T]
+  pper help";
+
+#[derive(Default)]
+struct Opts {
+    kind: Option<String>,
+    entities: Option<usize>,
+    seed: Option<u64>,
+    out: Option<String>,
+    data: Option<String>,
+    machines: Option<usize>,
+    mechanism: Option<String>,
+    scheduler: Option<String>,
+    budget: Option<f64>,
+    cluster: Option<String>,
+    window: Option<usize>,
+    threshold: Option<f64>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Self::default();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut take = || {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--kind" => opts.kind = Some(take()?),
+                "--entities" => opts.entities = Some(parse(&take()?)?),
+                "--seed" => opts.seed = Some(parse(&take()?)?),
+                "--out" => opts.out = Some(take()?),
+                "--data" => opts.data = Some(take()?),
+                "--machines" => opts.machines = Some(parse(&take()?)?),
+                "--mechanism" => opts.mechanism = Some(take()?),
+                "--scheduler" => opts.scheduler = Some(take()?),
+                "--budget" => opts.budget = Some(parse(&take()?)?),
+                "--cluster" => opts.cluster = Some(take()?),
+                "--window" => opts.window = Some(parse(&take()?)?),
+                "--threshold" => opts.threshold = Some(parse(&take()?)?),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("could not parse value '{s}'"))
+}
+
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let kind = opts.kind.as_deref().unwrap_or("pubs");
+    let n = opts.entities.unwrap_or(10_000);
+    let seed = opts.seed.unwrap_or(42);
+    let out = opts.out.as_deref().ok_or("gen needs --out FILE")?;
+    let ds = match kind {
+        "pubs" => PubGen::new(n, seed).generate(),
+        "books" => BookGen::new(n, seed).generate(),
+        other => return Err(format!("unknown dataset kind '{other}' (pubs|books)")),
+    };
+    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    ds.write_jsonl(std::io::BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} entities, {} true duplicate pairs) to {out}",
+        ds.name,
+        ds.len(),
+        ds.truth.total_duplicate_pairs()
+    );
+    Ok(())
+}
+
+fn load(opts: &Opts) -> Result<Dataset, String> {
+    let path = opts.data.as_deref().ok_or("need --data FILE")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    Dataset::read_jsonl(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+/// Pick the preset matching the dataset's schema.
+fn config_for(ds: &Dataset, machines: usize) -> Result<ErConfig, String> {
+    match ds.schema.len() {
+        5 => Ok(ErConfig::citeseer(machines)),
+        8 => Ok(ErConfig::books(machines)),
+        other => Err(format!(
+            "unrecognized schema with {other} attributes; expected 5 (pubs) or 8 (books)"
+        )),
+    }
+}
+
+fn print_curve(result: &pper::er::ErRunResult) {
+    println!("\n{:>14} {:>10}", "cost", "recall");
+    for (cost, recall) in result.curve.sample(result.total_cost, 12) {
+        println!("{cost:>14.0} {recall:>10.3}");
+    }
+    println!(
+        "\nfinal recall {:.3}  precision {:.3}  total cost {:.0}  overhead {:.0}",
+        result.curve.final_recall(),
+        result.precision,
+        result.total_cost,
+        result.overhead_cost
+    );
+    println!(
+        "comparisons {}  redundant skips {}  duplicates {}",
+        result.counters.get("pairs_compared"),
+        result.counters.get("pairs_skipped_redundant"),
+        result.duplicates.len()
+    );
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let ds = load(opts)?;
+    let machines = opts.machines.unwrap_or(4);
+    let mut config = config_for(&ds, machines)?;
+    if let Some(m) = opts.mechanism.as_deref() {
+        config.mechanism = match m {
+            "sn" => MechanismKind::Sn,
+            "psnm" => MechanismKind::Psnm,
+            "hierarchy" => MechanismKind::Hierarchy,
+            other => return Err(format!("unknown mechanism '{other}'")),
+        };
+    }
+    if let Some(s) = opts.scheduler.as_deref() {
+        config.schedule.scheduler = match s {
+            "ours" => TreeScheduler::Progressive,
+            "nosplit" => TreeScheduler::NoSplit,
+            "lpt" => TreeScheduler::Lpt,
+            other => return Err(format!("unknown scheduler '{other}'")),
+        };
+    }
+    println!(
+        "dataset {} ({} entities, {} true pairs); μ = {machines}, mechanism {}, scheduler {:?}",
+        ds.name,
+        ds.len(),
+        ds.truth.total_duplicate_pairs(),
+        config.mechanism.name(),
+        config.schedule.scheduler,
+    );
+
+    let result = if let Some(budget) = opts.budget {
+        let report = run_with_budget(&config, &ds, budget).map_err(|e| e.to_string())?;
+        println!(
+            "budget {budget:.0}: delivered {} pairs, recall {:.3} ({}% of budget was overhead)",
+            report.delivered.len(),
+            report.recall_at_budget,
+            (report.overhead_fraction * 100.0).round()
+        );
+        report.full_run
+    } else {
+        ProgressiveEr::new(config).try_run(&ds).map_err(|e| e.to_string())?
+    };
+    print_curve(&result);
+
+    if let Some(c) = opts.cluster.as_deref() {
+        let assignment = match c {
+            "tc" => transitive_closure(ds.len(), &result.duplicates),
+            "cc" => correlation_clustering(ds.len(), &result.duplicates),
+            other => return Err(format!("unknown clustering '{other}' (tc|cc)")),
+        };
+        let metrics = ClusterMetrics::evaluate(&assignment, &ds.truth);
+        println!(
+            "\nclustering ({c}): {} clusters, pairwise P {:.3} / R {:.3} / F1 {:.3}",
+            metrics.clusters,
+            metrics.pairwise_precision,
+            metrics.pairwise_recall,
+            metrics.f1()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_basic(opts: &Opts) -> Result<(), String> {
+    let ds = load(opts)?;
+    let machines = opts.machines.unwrap_or(4);
+    let er = config_for(&ds, machines)?;
+    let window = opts.window.unwrap_or(15);
+    let basic = match opts.threshold {
+        Some(t) => BasicConfig::popcorn(window, t),
+        None => BasicConfig::full(window),
+    };
+    println!(
+        "Basic baseline: window {window}, threshold {:?}, μ = {machines}",
+        opts.threshold
+    );
+    let result = BasicApproach::new(er, basic)
+        .run(&ds)
+        .map_err(|e| e.to_string())?;
+    print_curve(&result);
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Substrate-level integration: the MapReduce runtime features exercised
+//! through the public facade, independent of the ER pipeline.
+
+use pper::mapreduce::driver::Driver;
+use pper::mapreduce::prelude::*;
+use pper::mapreduce::runtime::run_job_with_combiner;
+
+struct Tokenize;
+impl Mapper for Tokenize {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    fn map(&self, line: &String, ctx: &mut TaskContext, out: &mut Emitter<String, u64>) {
+        for w in line.split_whitespace() {
+            ctx.charge(1.0);
+            out.emit(w.to_string(), 1);
+        }
+    }
+}
+
+struct Sum;
+impl Reducer for Sum {
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+    fn reduce(
+        &self,
+        key: &String,
+        values: Vec<u64>,
+        ctx: &mut TaskContext,
+        out: &mut Vec<(String, u64)>,
+    ) {
+        ctx.charge(values.len() as f64);
+        out.push((key.clone(), values.iter().sum()));
+    }
+}
+
+struct SumCombiner;
+impl Combiner for SumCombiner {
+    type Key = String;
+    type Value = u64;
+    fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
+        vec![values.into_iter().sum()]
+    }
+}
+
+fn corpus() -> Vec<String> {
+    (0..500)
+        .map(|i| format!("alpha beta w{} alpha", i % 20))
+        .collect()
+}
+
+#[test]
+fn word_count_with_combiner_matches_plain() {
+    let cfg = JobConfig::new("wc", ClusterSpec::paper(2));
+    let inputs = corpus();
+    let plain = run_job(&cfg, &Tokenize, &GroupReducer::new(Sum), &inputs).unwrap();
+    let combined =
+        run_job_with_combiner(&cfg, &Tokenize, &SumCombiner, &GroupReducer::new(Sum), &inputs)
+            .unwrap();
+    let mut a = plain.outputs.clone();
+    let mut b = combined.outputs.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b);
+    assert!(combined.shuffle_records < plain.shuffle_records / 10);
+}
+
+#[test]
+fn driver_chains_two_jobs() {
+    let cfg = JobConfig::new("wc", ClusterSpec::paper(2));
+    let inputs = corpus();
+    let r1 = run_job(&cfg, &Tokenize, &GroupReducer::new(Sum), &inputs).unwrap();
+    let r2 = run_job(&cfg, &Tokenize, &GroupReducer::new(Sum), &inputs).unwrap();
+    let mut driver = Driver::new();
+    driver.record("count-1", &r1);
+    driver.record("count-2", &r2);
+    assert_eq!(driver.stages().len(), 2);
+    assert!(driver.now() > r1.total_virtual_cost);
+    assert!(driver.report().contains("count-2"));
+}
+
+#[test]
+fn external_sorter_handles_shuffle_scale() {
+    let mut sorter: ExternalSorter<(u64, String)> = ExternalSorter::new(1_000);
+    let mut expected = Vec::new();
+    for i in (0..20_000u64).rev() {
+        let rec = (i % 997, format!("value-{i}"));
+        expected.push(rec.clone());
+        sorter.push(rec).unwrap();
+    }
+    assert!(sorter.spilled_runs() >= 20);
+    let sorted = sorter.finish().unwrap();
+    expected.sort();
+    assert_eq!(sorted, expected);
+}
+
+#[test]
+fn skew_metric_visible_from_results() {
+    let cfg = JobConfig::new("wc", ClusterSpec::paper(2));
+    let inputs = corpus();
+    let result = run_job(&cfg, &Tokenize, &GroupReducer::new(Sum), &inputs).unwrap();
+    let skew = result.reduce_skew();
+    assert!(skew >= 0.0, "skew {skew}");
+}

@@ -1,0 +1,85 @@
+//! Scheduler comparisons and the Qty quality measure across crates —
+//! integration-level versions of the §VI-B2 findings.
+
+use pper::datagen::PubGen;
+use pper::er::metrics::quality;
+use pper::er::{ErConfig, ProgressiveEr};
+use pper::schedule::TreeScheduler;
+
+fn run_with(scheduler: TreeScheduler, ds: &pper::datagen::Dataset) -> pper::er::ErRunResult {
+    ProgressiveEr::new(ErConfig::citeseer(4).with_scheduler(scheduler)).run(ds)
+}
+
+#[test]
+fn all_schedulers_reach_the_same_final_recall() {
+    // Tree scheduling redistributes work; it must never change *what* is
+    // found, only *when*.
+    let ds = PubGen::new(2_500, 301).generate();
+    let ours = run_with(TreeScheduler::Progressive, &ds);
+    let nosplit = run_with(TreeScheduler::NoSplit, &ds);
+    let lpt = run_with(TreeScheduler::Lpt, &ds);
+    assert_eq!(ours.duplicates, nosplit.duplicates);
+    assert_eq!(ours.duplicates, lpt.duplicates);
+}
+
+#[test]
+fn our_scheduler_is_no_worse_than_baselines_at_mid_recall() {
+    let ds = PubGen::new(4_000, 302).generate();
+    let ours = run_with(TreeScheduler::Progressive, &ds);
+    let nosplit = run_with(TreeScheduler::NoSplit, &ds);
+    let lpt = run_with(TreeScheduler::Lpt, &ds);
+    for recall in [0.4, 0.6] {
+        let t_ours = ours.curve.time_to_recall(recall).unwrap();
+        let t_nosplit = nosplit.curve.time_to_recall(recall).unwrap();
+        let t_lpt = lpt.curve.time_to_recall(recall).unwrap();
+        // Tolerate small estimation noise but demand we're competitive.
+        assert!(
+            t_ours <= t_nosplit * 1.1,
+            "recall {recall}: ours {t_ours:.0} vs nosplit {t_nosplit:.0}"
+        );
+        assert!(
+            t_ours <= t_lpt * 1.1,
+            "recall {recall}: ours {t_ours:.0} vs lpt {t_lpt:.0}"
+        );
+    }
+}
+
+#[test]
+fn quality_measure_orders_the_approaches() {
+    // Eq. 1 with decaying weights should prefer the more progressive run.
+    let ds = PubGen::new(3_000, 303).generate();
+    let ours = run_with(TreeScheduler::Progressive, &ds);
+    let lpt = run_with(TreeScheduler::Lpt, &ds);
+
+    let max_cost = ours.total_cost.max(lpt.total_cost);
+    let costs: Vec<f64> = (1..=10).map(|i| max_cost * i as f64 / 10.0).collect();
+    let weights: Vec<f64> = (1..=10).map(|i| 1.0 - (i - 1) as f64 / 10.0).collect();
+
+    let q_ours = quality(&ours.curve, &costs, &weights);
+    let q_lpt = quality(&lpt.curve, &costs, &weights);
+    assert!((0.0..=1.0).contains(&q_ours));
+    assert!((0.0..=1.0).contains(&q_lpt));
+    assert!(
+        q_ours >= q_lpt - 0.02,
+        "Qty(ours) {q_ours:.3} should not trail Qty(lpt) {q_lpt:.3}"
+    );
+}
+
+#[test]
+fn weighting_functions_change_schedule_not_correctness() {
+    use pper::schedule::Weighting;
+    let ds = PubGen::new(2_000, 304).generate();
+    for weighting in [
+        Weighting::Uniform,
+        Weighting::Linear,
+        Weighting::Exponential { decay: 0.5 },
+    ] {
+        let result =
+            ProgressiveEr::new(ErConfig::citeseer(3).with_weighting(weighting)).run(&ds);
+        assert!(
+            result.curve.final_recall() > 0.85,
+            "{weighting:?}: {:.3}",
+            result.curve.final_recall()
+        );
+    }
+}
