@@ -15,7 +15,10 @@ fn stats_for(n: usize) -> (DatasetStats, usize) {
     let ds = PubGen::new(n, 5).generate();
     let families = presets::citeseer_families();
     let forests = build_forests(&ds, &families);
-    (DatasetStats::from_forests(&ds, &families, &forests), ds.len())
+    (
+        DatasetStats::from_forests(&ds, &families, &forests),
+        ds.len(),
+    )
 }
 
 fn bench_generate(c: &mut Criterion) {
@@ -38,11 +41,9 @@ fn bench_generate(c: &mut Criterion) {
             ("lpt", TreeScheduler::Lpt),
         ] {
             let cfg = ScheduleConfig::new(20).with_scheduler(scheduler);
-            g.bench_with_input(
-                BenchmarkId::new(name, n),
-                &n,
-                |b, _| b.iter(|| generate_schedule(black_box(&stats), &ctx, &cfg)),
-            );
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| generate_schedule(black_box(&stats), &ctx, &cfg))
+            });
         }
     }
     g.finish();

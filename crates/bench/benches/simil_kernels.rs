@@ -54,20 +54,17 @@ fn bench_match_rule(c: &mut Criterion) {
         ],
         0.82,
     );
-    let a = vec![
-        TITLE_A.to_string(),
-        TITLE_A.repeat(6),
-        "ICDE".to_string(),
-    ];
-    let b = vec![
-        TITLE_B.to_string(),
-        TITLE_B.repeat(6),
-        "ICDE".to_string(),
-    ];
+    let a = vec![TITLE_A.to_string(), TITLE_A.repeat(6), "ICDE".to_string()];
+    let b = vec![TITLE_B.to_string(), TITLE_B.repeat(6), "ICDE".to_string()];
     c.bench_function("match_rule/citeseer", |bench| {
         bench.iter(|| rule.matches(black_box(&a), black_box(&b)))
     });
 }
 
-criterion_group!(benches, bench_levenshtein, bench_other_kernels, bench_match_rule);
+criterion_group!(
+    benches,
+    bench_levenshtein,
+    bench_other_kernels,
+    bench_match_rule
+);
 criterion_main!(benches);

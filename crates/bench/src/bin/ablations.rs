@@ -12,7 +12,9 @@
 
 use pper_bench::ExpOptions;
 use pper_datagen::PubGen;
-use pper_er::{metrics::quality, ErConfig, ErRunResult, MechanismKind, ProbModelKind, ProgressiveEr};
+use pper_er::{
+    metrics::quality, ErConfig, ErRunResult, MechanismKind, ProbModelKind, ProgressiveEr,
+};
 use pper_schedule::Weighting;
 
 fn qty(result: &ErRunResult) -> f64 {
@@ -90,7 +92,11 @@ fn main() {
     row("trained (§VI-A4)", &r);
 
     header("A5: progressive mechanism M");
-    for mechanism in [MechanismKind::Sn, MechanismKind::Psnm, MechanismKind::Hierarchy] {
+    for mechanism in [
+        MechanismKind::Sn,
+        MechanismKind::Psnm,
+        MechanismKind::Hierarchy,
+    ] {
         let mut config = base();
         config.mechanism = mechanism;
         let r = ProgressiveEr::new(config).run(&ds);

@@ -50,9 +50,19 @@ fn main() {
             format!("fig10-theta{theta}"),
             format!("duplicate recall vs cost, θ = {theta} entities/machine (μ = {machines})"),
         );
-        fig.push(Series::from_curve("Our Approach", &ours.curve, max_cost, 14));
+        fig.push(Series::from_curve(
+            "Our Approach",
+            &ours.curve,
+            max_cost,
+            14,
+        ));
         for (t, r) in &basics {
-            fig.push(Series::from_curve(format!("Basic {t}"), &r.curve, max_cost, 14));
+            fig.push(Series::from_curve(
+                format!("Basic {t}"),
+                &r.curve,
+                max_cost,
+                14,
+            ));
         }
         fig.emit(&opts.out_dir);
 

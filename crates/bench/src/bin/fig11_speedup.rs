@@ -20,7 +20,11 @@ fn main() {
     eprintln!("generating {} book entities…", opts.entities);
     let ds = BookGen::new(opts.entities, opts.seed).generate();
 
-    let machine_counts: &[usize] = if opts.quick { &[5, 10] } else { &[5, 10, 15, 20, 25] };
+    let machine_counts: &[usize] = if opts.quick {
+        &[5, 10]
+    } else {
+        &[5, 10, 15, 20, 25]
+    };
     let recalls: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
 
     let mut runs = Vec::new();
@@ -37,8 +41,7 @@ fn main() {
         let points: Vec<(f64, f64)> = runs
             .iter()
             .filter_map(|(machines, result)| {
-                speedup_at(&base.curve, &result.curve, recall)
-                    .map(|s| (*machines as f64, s))
+                speedup_at(&base.curve, &result.curve, recall).map(|s| (*machines as f64, s))
             })
             .collect();
         if points.is_empty() {
@@ -54,7 +57,10 @@ fn main() {
     }
     fig.emit(&opts.out_dir);
 
-    println!("{:>10} {:>18} {:>18}", "machines", "speedup@0.3", "speedup@0.9");
+    println!(
+        "{:>10} {:>18} {:>18}",
+        "machines", "speedup@0.3", "speedup@0.9"
+    );
     for (machines, result) in &runs {
         let s3 = speedup_at(&base.curve, &result.curve, 0.3);
         let s9 = speedup_at(&base.curve, &result.curve, 0.9);

@@ -54,12 +54,18 @@ fn main() {
     let runs_w15: Vec<(f64, ErRunResult)> = if opts.quick {
         vec![(0.01, run_basic(15, Some(0.01)))]
     } else {
-        all_w15.iter().map(|&t| (t, run_basic(15, Some(t)))).collect()
+        all_w15
+            .iter()
+            .map(|&t| (t, run_basic(15, Some(t))))
+            .collect()
     };
     let runs_w5: Vec<(f64, ErRunResult)> = if opts.quick {
         vec![(0.01, run_basic(5, Some(0.01)))]
     } else {
-        thresholds_w5.iter().map(|&t| (t, run_basic(5, Some(t)))).collect()
+        thresholds_w5
+            .iter()
+            .map(|&t| (t, run_basic(5, Some(t))))
+            .collect()
     };
 
     // ---- Fig. 8: three sub-figures, recall vs cost ----------------------
@@ -71,7 +77,11 @@ fn main() {
     ];
     for (name, thresholds, window) in subfigs {
         let runs: &Vec<(f64, ErRunResult)> = if window == 15 { &runs_w15 } else { &runs_w5 };
-        let basic_f = if window == 15 { &basic_f_15 } else { &basic_f_5 };
+        let basic_f = if window == 15 {
+            &basic_f_15
+        } else {
+            &basic_f_5
+        };
         let mut costs: Vec<f64> = vec![ours.total_cost, basic_f.total_cost];
         costs.extend(runs.iter().map(|(_, r)| r.total_cost));
         // The paper plots only the first x seconds; show up to the earliest
@@ -82,7 +92,12 @@ fn main() {
             name,
             format!("duplicate recall vs cost, Basic w={window} (μ={machines})"),
         );
-        fig.push(Series::from_curve("Basic F", &basic_f.curve, max_cost, steps));
+        fig.push(Series::from_curve(
+            "Basic F",
+            &basic_f.curve,
+            max_cost,
+            steps,
+        ));
         for (t, r) in runs.iter().filter(|(t, _)| thresholds.contains(t)) {
             fig.push(Series::from_curve(
                 format!("Basic {t}"),
@@ -91,7 +106,12 @@ fn main() {
                 steps,
             ));
         }
-        fig.push(Series::from_curve("Our Approach", &ours.curve, max_cost, steps));
+        fig.push(Series::from_curve(
+            "Our Approach",
+            &ours.curve,
+            max_cost,
+            steps,
+        ));
         fig.emit(&opts.out_dir);
     }
 
@@ -128,6 +148,10 @@ fn main() {
     );
     println!(
         "{:>12} {:>12} {:>12.2} {:>14} {:>14.0}   <- ours",
-        "ours", "-", ours.curve.final_recall(), "-", ours.total_cost
+        "ours",
+        "-",
+        ours.curve.final_recall(),
+        "-",
+        ours.total_cost
     );
 }

@@ -1,0 +1,144 @@
+//! Shuffle load balancing: Hash vs BlockSplit vs PairRange on a seeded
+//! Zipf-skewed blocking workload (after Kolb, Thor & Rahm, arXiv:1108.1631).
+//!
+//! The hash baseline routes whole blocks, so the Zipf head block pins one
+//! reduce task while the rest idle; the two balancers redistribute the pair
+//! workload. All three produce identical matches — the figure reports the
+//! per-reduce-task virtual-cost spread (max/mean ratio), the reduce
+//! makespan, and the per-task cost histogram for each strategy.
+//!
+//! ```sh
+//! cargo run --release -p pper-bench --bin fig_loadbalance -- --entities 20000
+//! ```
+
+use pper_bench::ExpOptions;
+use pper_datagen::{SkewedBlocksGen, SkewedRecord};
+use pper_mapreduce::{run_pair_job, ClusterSpec, JobConfig, PairStrategy};
+use std::io::Write;
+
+#[derive(Debug, serde::Serialize)]
+struct StrategyReport {
+    strategy: &'static str,
+    max_cost: f64,
+    mean_cost: f64,
+    max_mean_ratio: f64,
+    reduce_makespan: f64,
+    total_virtual_cost: f64,
+    shuffle_records: u64,
+    comparisons: u64,
+    matches: usize,
+    cost_histogram: Vec<usize>,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct LoadBalanceFigure {
+    name: String,
+    caption: String,
+    entities: usize,
+    keys: usize,
+    exponent: f64,
+    seed: u64,
+    machines: usize,
+    reduce_tasks: usize,
+    strategies: Vec<StrategyReport>,
+}
+
+fn matches(a: &SkewedRecord, b: &SkewedRecord) -> bool {
+    a.payload % 1000 == b.payload % 1000
+}
+
+fn main() {
+    let opts = ExpOptions::from_args(20_000);
+    let machines = if opts.quick { 4 } else { 10 };
+    let keys = (opts.entities / 40).max(8);
+    let exponent = 1.4;
+
+    eprintln!(
+        "generating {} records over {} Zipf({exponent}) keys…",
+        opts.entities, keys
+    );
+    let records = SkewedBlocksGen::new(opts.entities, keys, exponent, opts.seed).generate();
+    let cfg = JobConfig::new("fig-loadbalance", ClusterSpec::paper(machines));
+    let reduce_tasks = cfg.reduce_tasks();
+
+    let mut reports = Vec::new();
+    let mut baseline_matches: Option<Vec<(u32, u32)>> = None;
+    for strategy in [
+        PairStrategy::Hash,
+        PairStrategy::BlockSplit,
+        PairStrategy::PairRange,
+    ] {
+        eprintln!("running {}…", strategy.name());
+        let report =
+            run_pair_job(&cfg, strategy, &records, |r| r.key.clone(), matches).expect("pair job");
+        match &baseline_matches {
+            None => baseline_matches = Some(report.matches.clone()),
+            Some(base) => assert_eq!(
+                base,
+                &report.matches,
+                "{} must find the same matches as the hash baseline",
+                strategy.name()
+            ),
+        }
+        let costs = &report.job.reduce_phase.task_costs;
+        let max = costs.iter().cloned().fold(0.0_f64, f64::max);
+        let mean = costs.iter().sum::<f64>() / costs.len().max(1) as f64;
+        reports.push(StrategyReport {
+            strategy: strategy.name(),
+            max_cost: max,
+            mean_cost: mean,
+            max_mean_ratio: report.max_mean_ratio(),
+            reduce_makespan: report.job.reduce_phase.makespan,
+            total_virtual_cost: report.job.total_virtual_cost,
+            shuffle_records: report.job.shuffle_records,
+            comparisons: report.job.counters.get("pairs_compared"),
+            matches: report.matches.len(),
+            cost_histogram: report.job.reduce_phase.cost_histogram(10),
+        });
+    }
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>14} {:>10}",
+        "strategy", "max cost", "mean cost", "max/mean", "makespan", "shuffle"
+    );
+    for r in &reports {
+        println!(
+            "{:<12} {:>12.0} {:>12.0} {:>9.2} {:>14.0} {:>10}",
+            r.strategy,
+            r.max_cost,
+            r.mean_cost,
+            r.max_mean_ratio,
+            r.reduce_makespan,
+            r.shuffle_records
+        );
+    }
+    let hash = &reports[0];
+    for r in &reports[1..] {
+        println!(
+            "{} skew improvement over hash: {:.2}x (makespan {:.2}x)",
+            r.strategy,
+            hash.max_mean_ratio / r.max_mean_ratio,
+            hash.reduce_makespan / r.reduce_makespan
+        );
+    }
+
+    let figure = LoadBalanceFigure {
+        name: "fig-loadbalance".into(),
+        caption: format!(
+            "per-reduce-task cost skew, Hash vs BlockSplit vs PairRange, μ = {machines}"
+        ),
+        entities: opts.entities,
+        keys,
+        exponent,
+        seed: opts.seed,
+        machines,
+        reduce_tasks,
+        strategies: reports,
+    };
+    std::fs::create_dir_all(&opts.out_dir).expect("create experiment output dir");
+    let path = opts.out_dir.join("fig-loadbalance.json");
+    let mut f = std::fs::File::create(&path).expect("create figure json");
+    serde_json::to_writer_pretty(&mut f, &figure).expect("serialize figure");
+    writeln!(f).ok();
+    eprintln!("wrote {}", path.display());
+}

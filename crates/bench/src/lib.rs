@@ -87,7 +87,12 @@ pub struct Series {
 
 impl Series {
     /// Sample a curve at `steps` points up to `max_cost`.
-    pub fn from_curve(label: impl Into<String>, curve: &RecallCurve, max_cost: f64, steps: usize) -> Self {
+    pub fn from_curve(
+        label: impl Into<String>,
+        curve: &RecallCurve,
+        max_cost: f64,
+        steps: usize,
+    ) -> Self {
         Self {
             label: label.into(),
             points: curve.sample(max_cost, steps),

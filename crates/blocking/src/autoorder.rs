@@ -38,10 +38,7 @@ impl FamilyQuality {
 }
 
 /// Estimate each family's duplicate density on a labeled training dataset.
-pub fn estimate_family_quality(
-    train: &Dataset,
-    families: &[BlockingFamily],
-) -> Vec<FamilyQuality> {
+pub fn estimate_family_quality(train: &Dataset, families: &[BlockingFamily]) -> Vec<FamilyQuality> {
     families
         .iter()
         .enumerate()

@@ -321,8 +321,7 @@ mod tests {
                 }
                 // Bottom-up: every child index visited before its parent.
                 let order: Vec<usize> = tree.bottom_up().collect();
-                let pos =
-                    |idx: usize| order.iter().position(|&i| i == idx).unwrap();
+                let pos = |idx: usize| order.iter().position(|&i| i == idx).unwrap();
                 for (i, b) in tree.blocks.iter().enumerate() {
                     if let Some(p) = b.parent {
                         assert!(pos(i) < pos(p));
@@ -338,8 +337,7 @@ mod tests {
         let forests = build_forests(&ds, &presets::citeseer_families());
         for tree in &forests[0].trees {
             for b in &tree.blocks {
-                let child_total: usize =
-                    b.children.iter().map(|&c| tree.blocks[c].size()).sum();
+                let child_total: usize = b.children.iter().map(|&c| tree.blocks[c].size()).sum();
                 assert!(child_total <= b.size());
                 // Children are disjoint and all members belong to the parent.
                 let mut seen = std::collections::HashSet::new();
@@ -362,8 +360,7 @@ mod tests {
                     assert!(b.size() >= 2, "all blocks have pairs");
                     if let Some(p) = b.parent {
                         assert!(
-                            b.size() < tree.blocks[p].size()
-                                || tree.blocks[p].children.len() > 1,
+                            b.size() < tree.blocks[p].size() || tree.blocks[p].children.len() > 1,
                             "child identical to parent should have merged"
                         );
                     }
@@ -413,12 +410,12 @@ mod tests {
     fn descendants_transitive() {
         let ds = PubGen::new(2_000, 15).generate();
         let forests = build_forests(&ds, &presets::citeseer_families());
-        let tree = forests[0]
-            .trees
-            .iter()
-            .max_by_key(|t| t.len())
-            .unwrap();
+        let tree = forests[0].trees.iter().max_by_key(|t| t.len()).unwrap();
         let desc = tree.descendants(0);
-        assert_eq!(desc.len(), tree.len() - 1, "root's descendants = all others");
+        assert_eq!(
+            desc.len(),
+            tree.len() - 1,
+            "root's descendants = all others"
+        );
     }
 }

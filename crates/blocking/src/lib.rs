@@ -36,15 +36,15 @@
 //! ```
 
 pub mod autoorder;
-pub mod function;
 pub mod forest;
+pub mod function;
 pub mod presets;
 pub mod stats;
 
 pub use autoorder::{auto_order, estimate_family_quality, FamilyQuality};
 
-pub use function::{BlockingFamily, PrefixFunction};
 pub use forest::{build_forests, Block, Forest, Tree};
+pub use function::{BlockingFamily, PrefixFunction};
 pub use stats::{
     compute_signatures, olp, pairs, uncovered_pairs, DatasetStats, NodeStats, Signature,
     SignatureSource, TreeStats,

@@ -113,10 +113,7 @@ pub fn uncovered_pairs(
         let subset: Vec<FamilyIndex> = (0..m).filter(|&f| mask & (1 << f) != 0).collect();
         let sign: i64 = if subset.len() % 2 == 1 { 1 } else { -1 };
         let olp_counts = olp(members, signatures, &subset);
-        let shared: i64 = olp_counts
-            .values()
-            .map(|&c| pairs(c) as i64)
-            .sum();
+        let shared: i64 = olp_counts.values().map(|&c| pairs(c) as i64).sum();
         total += sign * shared;
     }
     debug_assert!(total >= 0, "inclusion-exclusion must not go negative");

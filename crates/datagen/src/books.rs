@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 
 use crate::corrupt::{CorruptionConfig, Corruptor};
 use crate::entity::{Dataset, Entity, GroundTruth};
-use crate::words::{FIRST_NAMES, FORMATS, LANGUAGES, LAST_NAMES, PUBLISHERS, TITLE_OPENERS, TITLE_WORDS};
+use crate::words::{
+    FIRST_NAMES, FORMATS, LANGUAGES, LAST_NAMES, PUBLISHERS, TITLE_OPENERS, TITLE_WORDS,
+};
 use crate::zipf::Zipf;
 
 /// Generator for the books dataset.
@@ -61,7 +63,14 @@ impl BookGen {
     /// Attribute names in schema order.
     pub fn schema() -> Vec<String> {
         [
-            "title", "authors", "publisher", "year", "isbn", "pages", "language", "format",
+            "title",
+            "authors",
+            "publisher",
+            "year",
+            "isbn",
+            "pages",
+            "language",
+            "format",
         ]
         .into_iter()
         .map(String::from)
@@ -141,12 +150,18 @@ impl BookGen {
         let year = rng.random_range(1950..=2025).to_string();
         // ISBN-like key derived from the cluster id plus random check digits:
         // stable within a cluster modulo corruption.
-        let isbn = format!("978{:07}{:03}", cluster % 10_000_000, rng.random_range(0..1000));
+        let isbn = format!(
+            "978{:07}{:03}",
+            cluster % 10_000_000,
+            rng.random_range(0..1000)
+        );
         let pages = rng.random_range(80..1200).to_string();
         let language = LANGUAGES[rng.random_range(0..LANGUAGES.len())].to_string();
         let format = FORMATS[rng.random_range(0..FORMATS.len())].to_string();
 
-        vec![title, authors, publisher, year, isbn, pages, language, format]
+        vec![
+            title, authors, publisher, year, isbn, pages, language, format,
+        ]
     }
 }
 

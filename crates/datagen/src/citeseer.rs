@@ -127,7 +127,8 @@ impl PubGen {
             if i > 0 {
                 abstract_text.push(' ');
             }
-            abstract_text.push_str(ABSTRACT_FRAGMENTS[rng.random_range(0..ABSTRACT_FRAGMENTS.len())]);
+            abstract_text
+                .push_str(ABSTRACT_FRAGMENTS[rng.random_range(0..ABSTRACT_FRAGMENTS.len())]);
             abstract_text.push(' ');
             abstract_text.push_str(TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())]);
         }
@@ -178,7 +179,10 @@ mod tests {
     fn has_duplicate_clusters() {
         let ds = PubGen::new(2_000, 2).generate();
         let dup_pairs = ds.truth.total_duplicate_pairs();
-        assert!(dup_pairs > 200, "expected many duplicate pairs, got {dup_pairs}");
+        assert!(
+            dup_pairs > 200,
+            "expected many duplicate pairs, got {dup_pairs}"
+        );
         assert!(ds.truth.num_clusters() < ds.len());
     }
 
@@ -203,7 +207,10 @@ mod tests {
         let ds = PubGen::new(3_000, 4).generate();
         let mut by_cluster: HashMap<u32, Vec<u32>> = HashMap::new();
         for e in &ds.entities {
-            by_cluster.entry(ds.truth.cluster(e.id)).or_default().push(e.id);
+            by_cluster
+                .entry(ds.truth.cluster(e.id))
+                .or_default()
+                .push(e.id);
         }
         let mut close = 0usize;
         let mut total = 0usize;

@@ -98,7 +98,8 @@ impl Corruptor {
         }
         // 1 + geometric(1/char_edits) character edits.
         let mut edits = 1;
-        while (edits as f64) < cfg.char_edits * 4.0 && rng.random_bool(edit_continue(cfg.char_edits))
+        while (edits as f64) < cfg.char_edits * 4.0
+            && rng.random_bool(edit_continue(cfg.char_edits))
         {
             edits += 1;
         }
@@ -186,7 +187,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let c = Corruptor;
         for _ in 0..50 {
-            assert_eq!(c.corrupt_attr(&mut rng, "progressive er", &cfg), "progressive er");
+            assert_eq!(
+                c.corrupt_attr(&mut rng, "progressive er", &cfg),
+                "progressive er"
+            );
         }
     }
 
@@ -209,7 +213,10 @@ mod tests {
             }
         }
         assert!(total_changed > 20, "some corruption should occur");
-        assert!(total_changed < 160, "corruption rate should respect corrupt_prob");
+        assert!(
+            total_changed < 160,
+            "corruption rate should respect corrupt_prob"
+        );
     }
 
     #[test]

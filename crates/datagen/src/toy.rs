@@ -60,17 +60,11 @@ mod tests {
         // splits ⟨e4,e5⟩ ("Ch" vs "Gh") — the paper's motivating example for
         // multiple blocking functions.
         let ds = toy_people();
-        let p = |id: u32| {
-            ds.entity(id)
-                .attr(0)
-                .chars()
-                .take(2)
-                .collect::<String>()
-        };
+        let p = |id: u32| ds.entity(id).attr(0).chars().take(2).collect::<String>();
         assert_eq!(p(0), p(1));
         assert_eq!(p(0), p(8)); // "John" and "Joey" share "Jo"
         assert_ne!(p(3), p(4)); // Charles vs Gharles
-        // Y¹ (state) reunites e4 and e5 in "LA".
+                                // Y¹ (state) reunites e4 and e5 in "LA".
         assert_eq!(ds.entity(3).attr(1), ds.entity(4).attr(1));
     }
 }

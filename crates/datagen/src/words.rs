@@ -9,31 +9,129 @@
 /// so a handful of openers ("the", "on", "a", …) dominate, producing skewed
 /// root blocks.
 pub const TITLE_OPENERS: &[&str] = &[
-    "the", "on", "a", "an", "towards", "learning", "efficient", "scalable", "distributed",
-    "parallel", "progressive", "adaptive", "incremental", "online", "approximate", "optimal",
-    "robust", "fast", "dynamic", "generalized", "deep", "probabilistic", "secure", "unified",
-    "automated", "interactive", "practical", "novel", "improved", "hierarchical", "modular",
-    "federated", "streaming", "declarative", "hybrid", "selective", "lightweight", "elastic",
-    "transactional", "consistent",
+    "the",
+    "on",
+    "a",
+    "an",
+    "towards",
+    "learning",
+    "efficient",
+    "scalable",
+    "distributed",
+    "parallel",
+    "progressive",
+    "adaptive",
+    "incremental",
+    "online",
+    "approximate",
+    "optimal",
+    "robust",
+    "fast",
+    "dynamic",
+    "generalized",
+    "deep",
+    "probabilistic",
+    "secure",
+    "unified",
+    "automated",
+    "interactive",
+    "practical",
+    "novel",
+    "improved",
+    "hierarchical",
+    "modular",
+    "federated",
+    "streaming",
+    "declarative",
+    "hybrid",
+    "selective",
+    "lightweight",
+    "elastic",
+    "transactional",
+    "consistent",
 ];
 
 /// Mid-title content words.
 pub const TITLE_WORDS: &[&str] = &[
-    "entity", "resolution", "data", "query", "processing", "systems", "databases", "indexing",
-    "joins", "clustering", "classification", "blocking", "deduplication", "integration",
-    "cleaning", "quality", "linkage", "records", "graphs", "networks", "storage", "memory",
-    "transactions", "concurrency", "recovery", "optimization", "estimation", "sampling",
-    "sketches", "streams", "workloads", "partitioning", "replication", "consensus", "caching",
-    "compression", "encryption", "provenance", "schemas", "ontologies", "crowdsourcing",
-    "knowledge", "bases", "warehouses", "analytics", "mining", "inference", "matching",
-    "similarity", "search",
+    "entity",
+    "resolution",
+    "data",
+    "query",
+    "processing",
+    "systems",
+    "databases",
+    "indexing",
+    "joins",
+    "clustering",
+    "classification",
+    "blocking",
+    "deduplication",
+    "integration",
+    "cleaning",
+    "quality",
+    "linkage",
+    "records",
+    "graphs",
+    "networks",
+    "storage",
+    "memory",
+    "transactions",
+    "concurrency",
+    "recovery",
+    "optimization",
+    "estimation",
+    "sampling",
+    "sketches",
+    "streams",
+    "workloads",
+    "partitioning",
+    "replication",
+    "consensus",
+    "caching",
+    "compression",
+    "encryption",
+    "provenance",
+    "schemas",
+    "ontologies",
+    "crowdsourcing",
+    "knowledge",
+    "bases",
+    "warehouses",
+    "analytics",
+    "mining",
+    "inference",
+    "matching",
+    "similarity",
+    "search",
 ];
 
 /// Venue names for publications.
 pub const VENUES: &[&str] = &[
-    "ICDE", "VLDB", "SIGMOD", "KDD", "WWW", "CIKM", "EDBT", "ICDM", "SDM", "WSDM", "SIGIR",
-    "PODS", "SOCC", "NSDI", "OSDI", "SOSP", "EUROSYS", "ATC", "MIDDLEWARE", "ICDCS", "IPDPS",
-    "HPDC", "CLOUD", "BIGDATA", "DASFAA",
+    "ICDE",
+    "VLDB",
+    "SIGMOD",
+    "KDD",
+    "WWW",
+    "CIKM",
+    "EDBT",
+    "ICDM",
+    "SDM",
+    "WSDM",
+    "SIGIR",
+    "PODS",
+    "SOCC",
+    "NSDI",
+    "OSDI",
+    "SOSP",
+    "EUROSYS",
+    "ATC",
+    "MIDDLEWARE",
+    "ICDCS",
+    "IPDPS",
+    "HPDC",
+    "CLOUD",
+    "BIGDATA",
+    "DASFAA",
 ];
 
 /// Given-name pool.
@@ -53,16 +151,46 @@ pub const LAST_NAMES: &[&str] = &[
 
 /// Publisher names for books.
 pub const PUBLISHERS: &[&str] = &[
-    "penguin", "harpercollins", "macmillan", "simon and schuster", "hachette", "randomhouse",
-    "scholastic", "wiley", "pearson", "springer", "elsevier", "oreilly", "mit press",
-    "cambridge", "oxford", "princeton", "norton", "vintage", "doubleday", "knopf",
+    "penguin",
+    "harpercollins",
+    "macmillan",
+    "simon and schuster",
+    "hachette",
+    "randomhouse",
+    "scholastic",
+    "wiley",
+    "pearson",
+    "springer",
+    "elsevier",
+    "oreilly",
+    "mit press",
+    "cambridge",
+    "oxford",
+    "princeton",
+    "norton",
+    "vintage",
+    "doubleday",
+    "knopf",
 ];
 
 /// Book languages.
-pub const LANGUAGES: &[&str] = &["english", "spanish", "french", "german", "italian", "portuguese"];
+pub const LANGUAGES: &[&str] = &[
+    "english",
+    "spanish",
+    "french",
+    "german",
+    "italian",
+    "portuguese",
+];
 
 /// Book binding formats.
-pub const FORMATS: &[&str] = &["hardcover", "paperback", "ebook", "audiobook", "library binding"];
+pub const FORMATS: &[&str] = &[
+    "hardcover",
+    "paperback",
+    "ebook",
+    "audiobook",
+    "library binding",
+];
 
 /// US state abbreviations (used by the toy people dataset).
 pub const STATES: &[&str] = &[
@@ -105,7 +233,10 @@ mod tests {
         let total = prefixes.len();
         prefixes.sort_unstable();
         prefixes.dedup();
-        assert!(prefixes.len() < total, "need prefix collisions for blocking");
+        assert!(
+            prefixes.len() < total,
+            "need prefix collisions for blocking"
+        );
     }
 
     #[test]

@@ -145,11 +145,8 @@ impl Reducer for BasicReducer<'_> {
         }
         members.sort_unstable();
 
-        let sorted = pper_progressive::sort_by_attrs(
-            &members,
-            &[family.levels[0].attr, 0],
-            &entities,
-        );
+        let sorted =
+            pper_progressive::sort_by_attrs(&members, &[family.levels[0].attr, 0], &entities);
         ctx.charge(ctx.cost_model.block_additional_cost(sorted.len()));
 
         let mut run = self.mechanism.start(sorted, self.basic.window);
@@ -168,9 +165,7 @@ impl Reducer for BasicReducer<'_> {
             }
             ctx.charge(ctx.cost_model.resolve_pair);
             ctx.counters.incr("pairs_compared");
-            let is_dup = self
-                .rule
-                .matches(&entities[&a].attrs, &entities[&b].attrs);
+            let is_dup = self.rule.matches(&entities[&a].attrs, &entities[&b].attrs);
             run.feedback(is_dup);
             if is_dup {
                 ctx.counters.incr("duplicates_found");
@@ -206,6 +201,7 @@ impl BasicApproach {
         let mut cfg = JobConfig::new("pper-basic", self.er.cluster());
         cfg.cost_model = self.er.cost_model.clone();
         cfg.worker_threads = self.er.worker_threads;
+        cfg.shuffle_balance = self.er.shuffle_balance;
 
         let mapper = BasicMapper {
             families: &self.er.families,

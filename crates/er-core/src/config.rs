@@ -130,6 +130,13 @@ pub struct ErConfig {
     pub worker_threads: Option<usize>,
     /// Task-failure injection applied to the resolution (second) job.
     pub faults: Option<pper_mapreduce::FaultPlan>,
+    /// Opt-in skew-aware shuffle balancing for the hash-partitioned jobs
+    /// (Basic's single job, the pipeline's statistics job). `None` keeps
+    /// Hadoop's default hash routing; `Some(ShuffleBalance::Pairs)` places
+    /// blocking keys on reduce tasks by pair workload instead (see
+    /// `pper_mapreduce::loadbalance`). The scheduled resolution job is
+    /// unaffected — its range partitioner already encodes a placement.
+    pub shuffle_balance: Option<pper_mapreduce::ShuffleBalance>,
 }
 
 impl std::fmt::Debug for ErConfig {
@@ -174,6 +181,7 @@ impl ErConfig {
             alpha: 2_000.0,
             worker_threads: None,
             faults: None,
+            shuffle_balance: None,
         }
     }
 
@@ -206,6 +214,7 @@ impl ErConfig {
             alpha: 2_000.0,
             worker_threads: None,
             faults: None,
+            shuffle_balance: None,
         }
     }
 
@@ -218,6 +227,12 @@ impl ErConfig {
     /// Replace the weighting function.
     pub fn with_weighting(mut self, weighting: Weighting) -> Self {
         self.schedule.weighting = weighting;
+        self
+    }
+
+    /// Enable skew-aware shuffle balancing on the hash-partitioned jobs.
+    pub fn with_shuffle_balance(mut self, balance: pper_mapreduce::ShuffleBalance) -> Self {
+        self.shuffle_balance = Some(balance);
         self
     }
 
@@ -263,7 +278,11 @@ mod tests {
 
     #[test]
     fn mechanism_dispatch_yields_pairs() {
-        for kind in [MechanismKind::Sn, MechanismKind::Psnm, MechanismKind::Hierarchy] {
+        for kind in [
+            MechanismKind::Sn,
+            MechanismKind::Psnm,
+            MechanismKind::Hierarchy,
+        ] {
             let mut run = kind.start(vec![0, 1, 2], 2);
             let mut pairs = Vec::new();
             while let Some(p) = run.next_pair() {

@@ -130,16 +130,12 @@ impl IncrementalEr {
                     if !block.members.iter().any(|&m| m >= first_new) {
                         continue;
                     }
-                    let sorted = sort_by_attrs(
-                        &block.members,
-                        &[family.levels[0].attr, 0],
-                        &snapshot,
-                    );
+                    let sorted =
+                        sort_by_attrs(&block.members, &[family.levels[0].attr, 0], &snapshot);
                     let is_root = block.is_root();
                     let window = self.policy.window(is_root, block.is_leaf());
                     let mut run = self.mechanism.start(sorted, window);
-                    let mut stop =
-                        StopState::new(self.policy.stop_rule(is_root, block.size()));
+                    let mut stop = StopState::new(self.policy.stop_rule(is_root, block.size()));
                     while let Some((a, b)) = run.next_pair() {
                         // Delta filter: at least one side must be new, and
                         // the pair must not have been compared before (in
@@ -318,7 +314,11 @@ mod tests {
         assert!(er.duplicates().is_empty());
         // The duplicate arrives two batches later.
         er.ingest(vec![(
-            vec!["unrelated record title".into(), "other".into(), "VLDB".into()],
+            vec![
+                "unrelated record title".into(),
+                "other".into(),
+                "VLDB".into(),
+            ],
             1,
         )]);
         let out = er.ingest(vec![(master, 0)]);

@@ -78,9 +78,7 @@ impl Reducer for StatsReducer<'_> {
         }
 
         // Tree construction: one key extraction per member per level.
-        ctx.charge(
-            ctx.cost_model.read_per_entity * (members.len() * family.depth()) as f64,
-        );
+        ctx.charge(ctx.cost_model.read_per_entity * (members.len() * family.depth()) as f64);
         let tree = Tree::build(family_index, family, key.1.clone(), members, &entities);
 
         // Overlap statistics: signature grouping per block per subset —
@@ -115,6 +113,7 @@ pub fn run_job1(ds: &Dataset, config: &ErConfig) -> Result<Job1Result, MrError> 
     let mut cfg = JobConfig::new("pper-job1-blocking", config.cluster());
     cfg.cost_model = config.cost_model.clone();
     cfg.worker_threads = config.worker_threads;
+    cfg.shuffle_balance = config.shuffle_balance;
 
     let mapper = AnnotateMapper {
         families: &config.families,

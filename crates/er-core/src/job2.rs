@@ -160,8 +160,13 @@ impl PartitionReducer for ResolveReducer<'_> {
             );
             ctx.charge(ctx.cost_model.block_additional_cost(sorted.len()));
 
+            // Root-ness follows the scheduling tree: a split sub-tree's root
+            // is promoted to full root-style resolution (§IV-C2). Leaf-ness
+            // follows the blocking hierarchy: a parent whose children were
+            // split away keeps its mid-level window — its sub-blocks still
+            // exist, they are just resolved in another task.
             let is_root = node.is_root();
-            let is_leaf = node.is_leaf();
+            let is_leaf = node.hier_leaf;
             let window = self.policy.window(is_root, is_leaf);
             let mut run = self.mechanism.start(sorted, window);
             let mut stop = StopState::new(self.policy.stop_rule(is_root, members.len()));
@@ -276,10 +281,7 @@ mod tests {
     use pper_datagen::PubGen;
     use pper_schedule::{generate_schedule, EstimationContext};
 
-    fn schedule_for(
-        ds: &Dataset,
-        config: &ErConfig,
-    ) -> Arc<Schedule> {
+    fn schedule_for(ds: &Dataset, config: &ErConfig) -> Arc<Schedule> {
         let job1 = run_job1(ds, config).unwrap();
         let ctx = EstimationContext {
             dataset_size: ds.len(),
@@ -324,10 +326,7 @@ mod tests {
         let config = ErConfig::citeseer(2);
         let schedule = schedule_for(&ds, &config);
         let result = run_job2(&ds, &config, schedule).unwrap();
-        assert!(result
-            .timeline
-            .windows(2)
-            .all(|w| w[0].cost <= w[1].cost));
+        assert!(result.timeline.windows(2).all(|w| w[0].cost <= w[1].cost));
         let events = result
             .timeline
             .iter()
@@ -345,7 +344,10 @@ mod tests {
         let result = run_job2(&ds, &config, schedule).unwrap();
         let seg_pairs: usize = result.segments.iter().map(|s| s.records.len()).sum();
         assert_eq!(seg_pairs as u64, result.counters.get("duplicates_found"));
-        assert!(result.segments.len() > 1, "alpha should cut multiple segments");
+        assert!(
+            result.segments.len() > 1,
+            "alpha should cut multiple segments"
+        );
     }
 
     #[test]

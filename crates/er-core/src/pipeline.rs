@@ -137,11 +137,7 @@ impl ProgressiveEr {
     }
 
     /// Generate the progressive schedule from first-job statistics.
-    pub fn generate_schedule(
-        &self,
-        ds: &Dataset,
-        stats: &pper_blocking::DatasetStats,
-    ) -> Schedule {
+    pub fn generate_schedule(&self, ds: &Dataset, stats: &pper_blocking::DatasetStats) -> Schedule {
         let config = &self.config;
         let ctx = EstimationContext {
             dataset_size: ds.len(),

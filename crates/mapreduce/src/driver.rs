@@ -45,10 +45,11 @@ impl Driver {
     /// time at which the job started.
     pub fn record<O>(&mut self, name: impl Into<String>, result: &JobResult<O>) -> f64 {
         let started_at = self.now;
-        self.timeline.extend(result.timeline.iter().map(|e| ProgressEvent {
-            cost: e.cost + started_at,
-            ..*e
-        }));
+        self.timeline
+            .extend(result.timeline.iter().map(|e| ProgressEvent {
+                cost: e.cost + started_at,
+                ..*e
+            }));
         self.now += result.total_virtual_cost;
         self.stages.push(StageReport {
             name: name.into(),
@@ -133,10 +134,7 @@ mod tests {
         // Second job's events land strictly after the first job ends.
         let timeline = driver.timeline();
         assert!(timeline.windows(2).all(|w| w[0].cost <= w[1].cost));
-        let second_events = timeline
-            .iter()
-            .filter(|e| e.cost >= second_start)
-            .count();
+        let second_events = timeline.iter().filter(|e| e.cost >= second_start).count();
         assert!(second_events >= r2.timeline.len());
 
         let report = driver.report();

@@ -195,7 +195,11 @@ mod tests {
         for &v in &expected {
             sorter.push(v).unwrap();
         }
-        assert!(sorter.spilled_runs() >= 13, "{} runs", sorter.spilled_runs());
+        assert!(
+            sorter.spilled_runs() >= 13,
+            "{} runs",
+            sorter.spilled_runs()
+        );
         let sorted = sorter.finish().unwrap();
         expected.sort_unstable();
         assert_eq!(sorted, expected);
@@ -207,10 +211,7 @@ mod tests {
         for s in ["b", "a", "c", "a", "b", "a"] {
             sorter.push(s.to_string()).unwrap();
         }
-        assert_eq!(
-            sorter.finish().unwrap(),
-            vec!["a", "a", "a", "b", "b", "c"]
-        );
+        assert_eq!(sorter.finish().unwrap(), vec!["a", "a", "a", "b", "b", "c"]);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::cost::{CostClock, CostModel};
 use crate::counters::Counters;
 use crate::faults::FaultPlan;
+use crate::loadbalance::ShuffleBalance;
 use crate::progress::EventLog;
 
 /// Kind of a simulated task.
@@ -101,6 +102,13 @@ pub struct JobConfig {
     pub charge_framework_costs: bool,
     /// Deterministic task-failure injection (None = no failures).
     pub faults: Option<FaultPlan>,
+    /// Opt-in whole-key shuffle balancing: when set, the runtime ignores the
+    /// job's partitioner, counts records per key after the map phase, and
+    /// places keys on reduce tasks with a weighted LPT greedy instead of
+    /// hashing (see `crate::loadbalance`). Grouping semantics are unchanged —
+    /// every key still lands on exactly one reduce task — only the key→task
+    /// mapping moves, so any keyed job can turn this on safely.
+    pub shuffle_balance: Option<ShuffleBalance>,
 }
 
 impl JobConfig {
@@ -115,12 +123,15 @@ impl JobConfig {
             worker_threads: None,
             charge_framework_costs: true,
             faults: None,
+            shuffle_balance: None,
         }
     }
 
     /// Effective number of map tasks.
     pub fn map_tasks(&self) -> usize {
-        self.num_map_tasks.unwrap_or(self.cluster.map_slots()).max(1)
+        self.num_map_tasks
+            .unwrap_or(self.cluster.map_slots())
+            .max(1)
     }
 
     /// Effective number of reduce tasks (r in the paper).

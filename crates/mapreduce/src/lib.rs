@@ -24,9 +24,32 @@
 //!   that cuts a new result segment every `α` cost units, mirroring the
 //!   paper's incremental result-file production (§III-B).
 //!
-//! Real threads (via `crossbeam`) are used to execute simulated tasks, so
+//! Real threads (via `std::thread::scope`) are used to execute simulated tasks, so
 //! wall-clock benefits of parallelism are also real; but all *reported*
 //! quantities derive from the virtual clocks.
+//!
+//! ## Shuffle skew and load balancing
+//!
+//! Hash partitioning sends a whole key group to one reduce task, so a
+//! Zipf-skewed key distribution (typical of blocking keys in entity
+//! resolution) leaves the reduce makespan dominated by the single hottest
+//! task. The [`loadbalance`] module provides three skew-aware remedies:
+//!
+//! * [`loadbalance::BlockSplitPlan`] — split over-budget blocks into
+//!   sub-blocks and enumerate self/cross match tasks so every pair is still
+//!   compared exactly once (Kolb, Thor & Rahm, arXiv:1108.1631);
+//! * [`loadbalance::PairRangePlan`] — enumerate the global pair space and
+//!   range-partition it into equal slices, replicating each entity only to
+//!   the ranges that need it;
+//! * [`job::JobConfig::shuffle_balance`] — a runtime option for ordinary
+//!   keyed jobs that counts records per key after the map phase and places
+//!   whole keys on reduce tasks with a weighted LPT pass
+//!   ([`loadbalance::ShuffleBalance`]), preserving grouping semantics.
+//!
+//! [`loadbalance::run_pair_job`] runs a complete pairwise-comparison job
+//! under any [`loadbalance::PairStrategy`]; [`runtime::JobResult`] exposes
+//! the resulting per-task cost spread via `reduce_max_mean_ratio`, per-phase
+//! cost histograms, and a `shuffle_skew_milli` counter.
 //!
 //! ## Example
 //!
@@ -81,6 +104,7 @@ pub mod extsort;
 pub mod faults;
 pub mod fxhash;
 pub mod job;
+pub mod loadbalance;
 pub mod partition;
 pub mod progress;
 pub mod runtime;
@@ -90,15 +114,22 @@ pub mod spill;
 pub mod prelude {
     pub use crate::cost::{virtual_makespan, CostClock, CostModel};
     pub use crate::counters::Counters;
-    pub use crate::error::MrError;
     pub use crate::driver::{Driver, StageReport};
+    pub use crate::error::MrError;
     pub use crate::extsort::ExternalSorter;
     pub use crate::faults::FaultPlan;
     pub use crate::job::{
-        ClusterSpec, Combiner, Emitter, GroupReducer, JobConfig, Mapper, PartitionReducer,
-        Reducer, TaskContext, TaskId, TaskKind,
+        ClusterSpec, Combiner, Emitter, GroupReducer, JobConfig, Mapper, PartitionReducer, Reducer,
+        TaskContext, TaskId, TaskKind,
     };
-    pub use crate::partition::{HashPartitioner, Partitioner, RangePartitioner};
+    pub use crate::loadbalance::{
+        run_pair_job, BlockDistribution, BlockSplitPlan, PairJobReport, PairRangePlan,
+        PairStrategy, ShuffleBalance,
+    };
+    pub use crate::partition::{
+        AssignedPartitioner, HashPartitioner, IndexPartitioner, KeyMapPartitioner, Partitioner,
+        RangePartitioner,
+    };
     pub use crate::progress::{EventLog, IncrementalWriter, ProgressEvent, Segment};
     pub use crate::runtime::{
         run_job, run_job_with_combiner, run_job_with_partitioner, JobResult, PhaseReport,

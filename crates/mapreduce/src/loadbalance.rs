@@ -1,0 +1,948 @@
+//! Skew-aware shuffle load balancing: **BlockSplit** and **PairRange**,
+//! after Kolb, Thor & Rahm, *Load Balancing for MapReduce-based Entity
+//! Resolution* (arXiv:1108.1631).
+//!
+//! The default hash partitioner routes whole blocks to reduce tasks, so a
+//! heavy-tailed block-size distribution (the paper's "severe skewness in
+//! block sizes") leaves one reduce task with almost all pair comparisons
+//! while the rest idle. Both strategies here start from a lightweight
+//! *block-distribution-matrix* pre-pass ([`BlockDistribution`]) that counts
+//! block sizes, then redistribute the **pair workload** instead of the keys:
+//!
+//! * [`PairStrategy::BlockSplit`] — blocks whose pair count exceeds the
+//!   per-task budget are split into `m` sub-blocks; the block's comparison
+//!   work becomes `m` self match tasks (pairs within sub-block `i`) plus
+//!   `m·(m−1)/2` cross match tasks (pairs between sub-blocks `i` and `j`),
+//!   placed on reduce tasks with an LPT greedy. Every intra-block pair
+//!   `(p, q)` falls in exactly one match task (`p ≡ q (mod m)` → self task,
+//!   otherwise the one cross task of its two sub-blocks), so no pair is
+//!   lost or duplicated.
+//! * [`PairStrategy::PairRange`] — the global pair space is enumerated
+//!   (blocks in key order, pairs row-major within a block) and cut into `r`
+//!   near-equal index ranges; reduce task `t` resolves exactly the pairs
+//!   with global index in `[t·L, (t+1)·L)`. Entities are replicated to the
+//!   ranges that contain at least one of their pairs.
+//!
+//! [`run_pair_job`] executes a pairwise-comparison job under either
+//! strategy (or the hash baseline) on the ordinary simulated runtime, so
+//! per-reduce-task virtual costs, makespans and fault injection all apply
+//! unchanged — and the matched output is identical across strategies by
+//! construction.
+//!
+//! For jobs whose reduce work is per-key but still skewed (e.g. statistics
+//! gathering over blocks), [`ShuffleBalance`] offers a semantics-preserving
+//! middle ground: keys stay whole, but the runtime assigns them to reduce
+//! tasks by weighted LPT instead of hashing (see
+//! [`JobConfig::shuffle_balance`](crate::job::JobConfig)).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::error::MrError;
+use crate::fxhash::hash_one;
+use crate::job::{Emitter, JobConfig, Mapper, PartitionReducer, TaskContext};
+use crate::partition::{AssignedPartitioner, IndexPartitioner, Partitioner};
+use crate::runtime::{run_job_with_partitioner, JobResult};
+
+/// `n·(n−1)/2`: comparisons a block of `n` entities requires.
+pub fn pair_count(n: usize) -> u64 {
+    let n = n as u64;
+    n * n.saturating_sub(1) / 2
+}
+
+/// The block-distribution matrix (BDM) pre-pass: block sizes plus each
+/// input's `(block, position)` coordinates. Blocks are indexed in ascending
+/// key order; positions follow input order within a block. Both are
+/// deterministic, which every downstream plan relies on.
+#[derive(Debug, Clone)]
+pub struct BlockDistribution<K> {
+    /// Distinct blocking keys in ascending order.
+    pub keys: Vec<K>,
+    /// `sizes[b]` = number of entities in block `b`.
+    pub sizes: Vec<usize>,
+    /// Per input index: `(block, position within block)`.
+    pub membership: Vec<(u32, u32)>,
+}
+
+impl<K: Ord + Hash + Clone> BlockDistribution<K> {
+    /// Count blocks over `items` under the given key function.
+    pub fn compute<T>(items: &[T], key_of: impl Fn(&T) -> K) -> Self {
+        let item_keys: Vec<K> = items.iter().map(&key_of).collect();
+        let mut keys: Vec<K> = item_keys.to_vec();
+        keys.sort_unstable();
+        keys.dedup();
+        let index: HashMap<&K, u32> = keys.iter().zip(0u32..).collect();
+        let mut sizes = vec![0usize; keys.len()];
+        let membership = item_keys
+            .iter()
+            .map(|k| {
+                let b = index[k];
+                let pos = sizes[b as usize] as u32;
+                sizes[b as usize] += 1;
+                (b, pos)
+            })
+            .collect();
+        Self {
+            keys,
+            sizes,
+            membership,
+        }
+    }
+}
+
+impl<K> BlockDistribution<K> {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Total pair comparisons across all blocks.
+    pub fn total_pairs(&self) -> u64 {
+        self.sizes.iter().map(|&n| pair_count(n)).sum()
+    }
+
+    /// `max/mean` of the per-block pair counts — the skew the strategies
+    /// exist to flatten (1.0 = perfectly uniform).
+    pub fn pair_skew(&self) -> f64 {
+        let pairs: Vec<u64> = self.sizes.iter().map(|&n| pair_count(n)).collect();
+        let total: u64 = pairs.iter().sum();
+        if pairs.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let max = *pairs.iter().max().expect("non-empty") as f64;
+        max / (total as f64 / pairs.len() as f64)
+    }
+}
+
+/// Weight model for whole-key balanced shuffling
+/// ([`JobConfig::shuffle_balance`](crate::job::JobConfig)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleBalance {
+    /// Weight each key by its record count — reducers doing linear work.
+    Records,
+    /// Weight each key by `records·(records−1)/2` — reducers doing pairwise
+    /// work within the key group (entity resolution's shape).
+    Pairs,
+}
+
+impl ShuffleBalance {
+    /// The virtual weight of a key group with `records` records.
+    pub fn weight(self, records: u64) -> u64 {
+        match self {
+            ShuffleBalance::Records => records,
+            // Saturate: 2^32 records per key would overflow the product.
+            ShuffleBalance::Pairs => records.saturating_mul(records.saturating_sub(1)) / 2,
+        }
+    }
+}
+
+/// Longest-processing-time greedy: assign each weight to the currently
+/// least-loaded of `partitions` bins, heaviest first. Ties break toward the
+/// lower index on both sides, so the result is deterministic.
+pub fn lpt_assign(weights: &[u64], partitions: usize) -> Vec<usize> {
+    let partitions = partitions.max(1);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]).then(a.cmp(&b)));
+    let mut loads = vec![0u64; partitions];
+    let mut assign = vec![0usize; weights.len()];
+    for i in order {
+        let p = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(idx, &load)| (load, idx))
+            .map(|(idx, _)| idx)
+            .expect("at least one partition");
+        assign[i] = p;
+        loads[p] += weights[i];
+    }
+    assign
+}
+
+/// How [`run_pair_job`] distributes pair comparisons over reduce tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairStrategy {
+    /// Hadoop default: whole blocks, routed by key hash (the skew baseline).
+    Hash,
+    /// Kolb et al.'s BlockSplit: over-budget blocks become self + cross
+    /// sub-block match tasks, LPT-placed.
+    BlockSplit,
+    /// Kolb et al.'s PairRange: the global pair index space is cut into `r`
+    /// even ranges.
+    PairRange,
+}
+
+impl PairStrategy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PairStrategy::Hash => "hash",
+            PairStrategy::BlockSplit => "blocksplit",
+            PairStrategy::PairRange => "pairrange",
+        }
+    }
+}
+
+/// One match task of a [`BlockSplitPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchTask {
+    /// All pairs of an unsplit block.
+    Whole {
+        /// Block index.
+        block: u32,
+    },
+    /// Pairs within sub-block `sub` of a split block.
+    SelfSub {
+        /// Block index.
+        block: u32,
+        /// Sub-block index (`pos % m`).
+        sub: u32,
+    },
+    /// Pairs between sub-blocks `i < j` of a split block.
+    Cross {
+        /// Block index.
+        block: u32,
+        /// Smaller sub-block index.
+        i: u32,
+        /// Larger sub-block index.
+        j: u32,
+    },
+}
+
+impl MatchTask {
+    fn block(&self) -> u32 {
+        match *self {
+            MatchTask::Whole { block }
+            | MatchTask::SelfSub { block, .. }
+            | MatchTask::Cross { block, .. } => block,
+        }
+    }
+}
+
+/// The BlockSplit plan: match tasks, their pair costs, the reduce-task
+/// placement, and the sub-block count per block.
+#[derive(Debug, Clone)]
+pub struct BlockSplitPlan {
+    /// All match tasks; a task's index is its shuffle key.
+    pub tasks: Vec<MatchTask>,
+    /// Pair comparisons each task performs.
+    pub costs: Vec<u64>,
+    /// Reduce task each match task is placed on (LPT).
+    pub assignment: Vec<usize>,
+    /// Sub-block count `m` per block (1 = unsplit).
+    pub subs: Vec<u32>,
+    /// Per-block index of the block's first task in `tasks`.
+    first_task: Vec<u32>,
+}
+
+impl BlockSplitPlan {
+    /// Plan over `dist` for `reduce_tasks` reduce tasks. The per-task pair
+    /// budget is `ceil(total_pairs / reduce_tasks)`; a block exceeding it is
+    /// split into `m = ceil(sqrt(2·pairs / budget))` sub-blocks, which
+    /// bounds every match task's cost near the budget.
+    pub fn plan<K>(dist: &BlockDistribution<K>, reduce_tasks: usize) -> Self {
+        let r = reduce_tasks.max(1) as u64;
+        let total = dist.total_pairs();
+        let budget = total.div_ceil(r).max(1);
+
+        let mut tasks = Vec::new();
+        let mut costs = Vec::new();
+        let mut subs = Vec::with_capacity(dist.num_blocks());
+        let mut first_task = Vec::with_capacity(dist.num_blocks());
+        for (b, &n) in dist.sizes.iter().enumerate() {
+            let block = b as u32;
+            let pairs = pair_count(n);
+            first_task.push(tasks.len() as u32);
+            if pairs == 0 {
+                subs.push(1);
+                continue;
+            }
+            if pairs <= budget {
+                subs.push(1);
+                tasks.push(MatchTask::Whole { block });
+                costs.push(pairs);
+                continue;
+            }
+            let m = ((2.0 * pairs as f64 / budget as f64).sqrt().ceil() as usize).clamp(2, n);
+            subs.push(m as u32);
+            let sub_size = |i: usize| n / m + usize::from(i < n % m);
+            for i in 0..m {
+                tasks.push(MatchTask::SelfSub {
+                    block,
+                    sub: i as u32,
+                });
+                costs.push(pair_count(sub_size(i)));
+            }
+            for i in 0..m {
+                for j in i + 1..m {
+                    tasks.push(MatchTask::Cross {
+                        block,
+                        i: i as u32,
+                        j: j as u32,
+                    });
+                    costs.push(sub_size(i) as u64 * sub_size(j) as u64);
+                }
+            }
+        }
+        let assignment = lpt_assign(&costs, reduce_tasks);
+        Self {
+            tasks,
+            costs,
+            assignment,
+            subs,
+            first_task,
+        }
+    }
+
+    /// Match-task keys an entity at `(block, pos)` must be shuffled to: the
+    /// single whole-block task, or (when split) its sub-block's self task
+    /// plus every cross task involving that sub-block.
+    pub fn tasks_of(&self, block: u32, pos: u32) -> Vec<u64> {
+        let m = self.subs[block as usize] as u64;
+        let base = self.first_task[block as usize] as u64;
+        if m <= 1 {
+            // Singleton blocks have no task at all.
+            return match self.tasks.get(base as usize) {
+                Some(t) if t.block() == block => vec![base],
+                _ => Vec::new(),
+            };
+        }
+        let i = u64::from(pos) % m;
+        let mut out = Vec::with_capacity(m as usize);
+        out.push(base + i); // self task of sub-block i
+        let cross_base = base + m;
+        // Cross tasks are laid out row-major over i < j:
+        // index(i, j) = i·m − i·(i+1)/2 + (j − i − 1).
+        let cross = |i: u64, j: u64| cross_base + i * m - i * (i + 1) / 2 + (j - i - 1);
+        for other in 0..m {
+            if other < i {
+                out.push(cross(other, i));
+            } else if other > i {
+                out.push(cross(i, other));
+            }
+        }
+        out
+    }
+}
+
+/// Row-major local pair enumeration within one block of `n` entities: pair
+/// `(p, q)`, `p < q`, has local index `row_off(n, p) + (q − p − 1)`.
+fn row_off(n: u64, p: u64) -> u64 {
+    // sum_{k < p} (n − 1 − k)
+    p * (n - 1) - p * (p.saturating_sub(1)) / 2
+}
+
+/// Inverse of the row-major enumeration: local index → `(p, q)`.
+fn decode_pair(n: u64, local: u64) -> (u64, u64) {
+    // Largest p with row_off(p) <= local, by binary search over rows.
+    let mut lo = 0u64;
+    let mut hi = n - 1; // rows 0..n-1
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if row_off(n, mid) <= local {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let p = lo;
+    let q = p + 1 + (local - row_off(n, p));
+    (p, q)
+}
+
+/// The PairRange plan: global pair-space offsets and the range width.
+#[derive(Debug, Clone)]
+pub struct PairRangePlan {
+    /// Global pair-index offset of each block (prefix sums, key order).
+    pub offsets: Vec<u64>,
+    /// Block sizes (copied from the distribution for decode).
+    pub sizes: Vec<u64>,
+    /// Total pairs across all blocks.
+    pub total: u64,
+    /// Width `L` of each range; range `t` owns `[t·L, (t+1)·L)`.
+    pub range_len: u64,
+    /// Number of ranges (= reduce tasks).
+    pub ranges: usize,
+}
+
+impl PairRangePlan {
+    /// Plan over `dist` for `reduce_tasks` ranges.
+    pub fn plan<K>(dist: &BlockDistribution<K>, reduce_tasks: usize) -> Self {
+        let ranges = reduce_tasks.max(1);
+        let mut offsets = Vec::with_capacity(dist.num_blocks());
+        let mut acc = 0u64;
+        for &n in &dist.sizes {
+            offsets.push(acc);
+            acc += pair_count(n);
+        }
+        Self {
+            offsets,
+            sizes: dist.sizes.iter().map(|&n| n as u64).collect(),
+            total: acc,
+            range_len: acc.div_ceil(ranges as u64).max(1),
+            ranges,
+        }
+    }
+
+    /// Range keys an entity at `(block, pos)` must be shuffled to: every
+    /// range containing at least one pair that involves the entity.
+    pub fn ranges_of(&self, block: u32, pos: u32) -> Vec<u64> {
+        let b = block as usize;
+        let n = self.sizes[b];
+        let pairs = if n < 2 { 0 } else { pair_count(n as usize) };
+        if pairs == 0 {
+            return Vec::new();
+        }
+        let off = self.offsets[b];
+        let t0 = off / self.range_len;
+        let t1 = (off + pairs - 1) / self.range_len;
+        if t0 == t1 {
+            return vec![t0];
+        }
+        (t0..=t1)
+            .filter(|&t| {
+                let lo = (t * self.range_len).saturating_sub(off);
+                let hi = ((t + 1) * self.range_len).min(off + pairs) - off;
+                lo < hi && entity_has_pair_in(n, u64::from(pos), lo, hi)
+            })
+            .collect()
+    }
+}
+
+/// Does entity `p` of a block of `n` entities participate in any pair with
+/// local index in `[lo, hi)`?
+fn entity_has_pair_in(n: u64, p: u64, lo: u64, hi: u64) -> bool {
+    // Row p: contiguous indices [row_off(p), row_off(p) + n - 1 - p).
+    let row_start = row_off(n, p);
+    let row_end = row_start + (n - 1 - p);
+    if row_start < hi && lo < row_end {
+        return true;
+    }
+    // Column p: index g(p') = row_off(p') + (p − p' − 1) for p' < p, which
+    // is non-decreasing in p' — binary search the first g ≥ lo.
+    if p == 0 {
+        return false;
+    }
+    let g = |pp: u64| row_off(n, pp) + (p - pp - 1);
+    let (mut a, mut b) = (0u64, p); // search in p' ∈ [0, p)
+    while a < b {
+        let mid = (a + b) / 2;
+        if g(mid) < lo {
+            a = mid + 1;
+        } else {
+            b = mid;
+        }
+    }
+    a < p && g(a) < hi
+}
+
+/// Outcome of [`run_pair_job`]: the matched pairs (normalized and sorted —
+/// identical across strategies) plus the full runtime report.
+#[derive(Debug)]
+pub struct PairJobReport {
+    /// Matched input-index pairs, `(min, max)`, ascending.
+    pub matches: Vec<(u32, u32)>,
+    /// The underlying job result (per-task costs, counters, timeline, …).
+    pub job: JobResult<(u32, u32)>,
+}
+
+impl PairJobReport {
+    /// `max/mean` over per-reduce-task virtual costs (see
+    /// [`JobResult::reduce_max_mean_ratio`]).
+    pub fn max_mean_ratio(&self) -> f64 {
+        self.job.reduce_max_mean_ratio()
+    }
+}
+
+enum ExecPlan {
+    Hash,
+    BlockSplit(BlockSplitPlan),
+    PairRange(PairRangePlan),
+}
+
+enum PlanPartitioner {
+    Assigned(AssignedPartitioner),
+    Index(IndexPartitioner),
+}
+
+impl Partitioner<u64> for PlanPartitioner {
+    fn partition(&self, key: &u64, num_partitions: usize) -> usize {
+        match self {
+            PlanPartitioner::Assigned(p) => p.partition(key, num_partitions),
+            PlanPartitioner::Index(p) => p.partition(key, num_partitions),
+        }
+    }
+}
+
+/// Value shuffled per (entity, task): `(block, pos, input index)`.
+type PairVal = (u32, u32, u32);
+
+struct PairMapper<'a> {
+    emissions: &'a [Vec<u64>],
+    vals: &'a [PairVal],
+}
+
+impl Mapper for PairMapper<'_> {
+    type Input = u32;
+    type Key = u64;
+    type Value = PairVal;
+
+    fn map(&self, input: &u32, _ctx: &mut TaskContext, out: &mut Emitter<u64, PairVal>) {
+        let idx = *input as usize;
+        for &key in &self.emissions[idx] {
+            out.emit(key, self.vals[idx]);
+        }
+    }
+}
+
+struct PairReducer<'a, T, MF> {
+    inputs: &'a [T],
+    matches: &'a MF,
+    exec: &'a ExecPlan,
+}
+
+impl<T, MF> PairReducer<'_, T, MF>
+where
+    T: Sync,
+    MF: Fn(&T, &T) -> bool + Sync,
+{
+    fn compare(&self, a: u32, b: u32, ctx: &mut TaskContext, out: &mut Vec<(u32, u32)>) {
+        ctx.charge(ctx.cost_model.resolve_pair);
+        ctx.counters.incr("pairs_compared");
+        if (self.matches)(&self.inputs[a as usize], &self.inputs[b as usize]) {
+            out.push((a.min(b), a.max(b)));
+        }
+    }
+
+    /// All pairs among `vals`, in ascending position order.
+    fn all_pairs(&self, mut vals: Vec<PairVal>, ctx: &mut TaskContext, out: &mut Vec<(u32, u32)>) {
+        vals.sort_unstable_by_key(|v| v.1);
+        for (i, a) in vals.iter().enumerate() {
+            for b in &vals[i + 1..] {
+                self.compare(a.2, b.2, ctx, out);
+            }
+        }
+    }
+}
+
+impl<T, MF> PartitionReducer for PairReducer<'_, T, MF>
+where
+    T: Sync,
+    MF: Fn(&T, &T) -> bool + Sync,
+{
+    type Key = u64;
+    type Value = PairVal;
+    type Output = (u32, u32);
+
+    fn reduce_partition(
+        &self,
+        groups: Vec<(u64, Vec<PairVal>)>,
+        ctx: &mut TaskContext,
+        out: &mut Vec<(u32, u32)>,
+    ) {
+        for (key, vals) in groups {
+            match self.exec {
+                ExecPlan::Hash => self.all_pairs(vals, ctx, out),
+                ExecPlan::BlockSplit(plan) => match plan.tasks[key as usize] {
+                    MatchTask::Whole { .. } | MatchTask::SelfSub { .. } => {
+                        self.all_pairs(vals, ctx, out)
+                    }
+                    MatchTask::Cross { block, i, j } => {
+                        let m = plan.subs[block as usize];
+                        let mut left: Vec<PairVal> = Vec::new();
+                        let mut right: Vec<PairVal> = Vec::new();
+                        for v in vals {
+                            if v.1 % m == i {
+                                left.push(v);
+                            } else {
+                                debug_assert_eq!(v.1 % m, j);
+                                right.push(v);
+                            }
+                        }
+                        left.sort_unstable_by_key(|v| v.1);
+                        right.sort_unstable_by_key(|v| v.1);
+                        for a in &left {
+                            for b in &right {
+                                self.compare(a.2, b.2, ctx, out);
+                            }
+                        }
+                    }
+                },
+                ExecPlan::PairRange(plan) => {
+                    let t = key;
+                    let range_lo = t * plan.range_len;
+                    let range_hi = ((t + 1) * plan.range_len).min(plan.total);
+                    // Position → input index per block present in this range.
+                    let mut by_block: HashMap<u32, HashMap<u32, u32>> = HashMap::new();
+                    for (block, pos, idx) in vals {
+                        by_block.entry(block).or_default().insert(pos, idx);
+                    }
+                    let mut blocks: Vec<u32> = by_block.keys().copied().collect();
+                    blocks.sort_unstable();
+                    for b in blocks {
+                        let n = plan.sizes[b as usize];
+                        let off = plan.offsets[b as usize];
+                        let pairs = if n < 2 { 0 } else { pair_count(n as usize) };
+                        let lo = range_lo.max(off);
+                        let hi = range_hi.min(off + pairs);
+                        if lo >= hi {
+                            continue;
+                        }
+                        let members = &by_block[&b];
+                        let (mut p, mut q) = decode_pair(n, lo - off);
+                        for _ in lo..hi {
+                            let a = members[&(p as u32)];
+                            let bb = members[&(q as u32)];
+                            self.compare(a, bb, ctx, out);
+                            q += 1;
+                            if q == n {
+                                p += 1;
+                                q = p + 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run a pairwise-comparison job: every pair of inputs sharing a blocking
+/// key is compared exactly once with `matches`, each comparison charging
+/// `cost_model.resolve_pair` on the owning reduce task's virtual clock. The
+/// `strategy` decides how that pair workload is spread over reduce tasks;
+/// the matched output is identical across strategies by construction.
+pub fn run_pair_job<T, K, KF, MF>(
+    cfg: &JobConfig,
+    strategy: PairStrategy,
+    inputs: &[T],
+    key_of: KF,
+    matches: MF,
+) -> Result<PairJobReport, MrError>
+where
+    T: Sync,
+    K: Ord + Hash + Clone,
+    KF: Fn(&T) -> K,
+    MF: Fn(&T, &T) -> bool + Sync,
+{
+    let r = cfg.reduce_tasks();
+    let dist = BlockDistribution::compute(inputs, key_of);
+
+    let (exec, partitioner) = match strategy {
+        PairStrategy::Hash => {
+            // Reproduce hash routing over the *original* keys: block b's
+            // shuffle key is its index, pre-assigned to hash(key_b) mod r.
+            let assign: Vec<usize> = dist
+                .keys
+                .iter()
+                .map(|k| (hash_one(k) % r as u64) as usize)
+                .collect();
+            (
+                ExecPlan::Hash,
+                PlanPartitioner::Assigned(AssignedPartitioner::new(assign)),
+            )
+        }
+        PairStrategy::BlockSplit => {
+            let plan = BlockSplitPlan::plan(&dist, r);
+            let assignment = plan.assignment.clone();
+            (
+                ExecPlan::BlockSplit(plan),
+                PlanPartitioner::Assigned(AssignedPartitioner::new(assignment)),
+            )
+        }
+        PairStrategy::PairRange => (
+            ExecPlan::PairRange(PairRangePlan::plan(&dist, r)),
+            PlanPartitioner::Index(IndexPartitioner),
+        ),
+    };
+
+    let emissions: Vec<Vec<u64>> = dist
+        .membership
+        .iter()
+        .map(|&(block, pos)| match &exec {
+            ExecPlan::Hash => vec![u64::from(block)],
+            ExecPlan::BlockSplit(plan) => plan.tasks_of(block, pos),
+            ExecPlan::PairRange(plan) => plan.ranges_of(block, pos),
+        })
+        .collect();
+    let vals: Vec<PairVal> = dist
+        .membership
+        .iter()
+        .zip(0u32..)
+        .map(|(&(block, pos), idx)| (block, pos, idx))
+        .collect();
+
+    let indices: Vec<u32> = (0..inputs.len() as u32).collect();
+    let mapper = PairMapper {
+        emissions: &emissions,
+        vals: &vals,
+    };
+    let reducer = PairReducer {
+        inputs,
+        matches: &matches,
+        exec: &exec,
+    };
+    let mut job = run_job_with_partitioner(cfg, &mapper, &reducer, &partitioner, &indices)?;
+    let mut matches = job.outputs.clone();
+    matches.sort_unstable();
+    job.outputs.sort_unstable();
+    Ok(PairJobReport { matches, job })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ClusterSpec;
+
+    fn job(machines: usize) -> JobConfig {
+        JobConfig::new("lb-test", ClusterSpec::paper(machines))
+    }
+
+    /// A skewed toy workload: one key holds most records.
+    fn skewed_inputs() -> Vec<(u64, u64)> {
+        // (block key, payload): block 0 has 60 members, others 3 each.
+        let mut v = Vec::new();
+        for i in 0..60u64 {
+            v.push((0, i));
+        }
+        for b in 1..15u64 {
+            for i in 0..3u64 {
+                v.push((b, b * 100 + i));
+            }
+        }
+        v
+    }
+
+    fn brute_force_pairs(inputs: &[(u64, u64)]) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..inputs.len() {
+            for j in i + 1..inputs.len() {
+                if inputs[i].0 == inputs[j].0 && (inputs[i].1 + inputs[j].1).is_multiple_of(3) {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn distribution_counts_blocks_and_positions() {
+        let inputs = [(5u64, 0u64), (3, 0), (5, 0), (5, 0)];
+        let d = BlockDistribution::compute(&inputs, |x| x.0);
+        assert_eq!(d.keys, vec![3, 5]);
+        assert_eq!(d.sizes, vec![1, 3]);
+        assert_eq!(d.membership, vec![(1, 0), (0, 0), (1, 1), (1, 2)]);
+        assert_eq!(d.total_pairs(), 3);
+    }
+
+    #[test]
+    fn pair_enumeration_roundtrips() {
+        for n in 2u64..12 {
+            let mut seen = Vec::new();
+            for l in 0..pair_count(n as usize) {
+                let (p, q) = decode_pair(n, l);
+                assert!(p < q && q < n, "n={n} l={l} -> ({p},{q})");
+                assert_eq!(row_off(n, p) + (q - p - 1), l);
+                seen.push((p, q));
+            }
+            seen.dedup();
+            assert_eq!(seen.len() as u64, pair_count(n as usize));
+        }
+    }
+
+    #[test]
+    fn entity_pair_membership_matches_enumeration() {
+        let n = 9u64;
+        for p in 0..n {
+            for lo in 0..pair_count(n as usize) {
+                for hi in [lo + 1, lo + 3, pair_count(n as usize)] {
+                    let expected = (lo..hi.min(pair_count(n as usize))).any(|l| {
+                        let (a, b) = decode_pair(n, l);
+                        a == p || b == p
+                    });
+                    assert_eq!(
+                        entity_has_pair_in(n, p, lo, hi),
+                        expected,
+                        "n={n} p={p} range=[{lo},{hi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocksplit_covers_every_pair_exactly_once() {
+        let inputs = skewed_inputs();
+        let dist = BlockDistribution::compute(&inputs, |x| x.0);
+        let plan = BlockSplitPlan::plan(&dist, 8);
+        // Every intra-block pair is *compared* in exactly one match task. A
+        // same-sub pair co-occurs in cross tasks too, but a cross task only
+        // compares across its two sub-blocks, never within one.
+        for b in 0..dist.num_blocks() as u32 {
+            let n = dist.sizes[b as usize] as u32;
+            let m = plan.subs[b as usize];
+            for p in 0..n {
+                for q in p + 1..n {
+                    let tp = plan.tasks_of(b, p);
+                    let tq = plan.tasks_of(b, q);
+                    let comparing: Vec<&u64> = tp
+                        .iter()
+                        .filter(|t| tq.contains(t))
+                        .filter(|&&t| match plan.tasks[t as usize] {
+                            MatchTask::Whole { .. } | MatchTask::SelfSub { .. } => true,
+                            MatchTask::Cross { .. } => p % m != q % m,
+                        })
+                        .collect();
+                    assert_eq!(
+                        comparing.len(),
+                        1,
+                        "block {b} pair ({p},{q}): {comparing:?}"
+                    );
+                }
+            }
+        }
+        // Task costs conserve the total pair count.
+        assert_eq!(plan.costs.iter().sum::<u64>(), dist.total_pairs());
+        assert!(plan.assignment.iter().all(|&a| a < 8));
+    }
+
+    #[test]
+    fn pairrange_ranges_partition_the_pair_space() {
+        let inputs = skewed_inputs();
+        let dist = BlockDistribution::compute(&inputs, |x| x.0);
+        let plan = PairRangePlan::plan(&dist, 8);
+        // Sum over ranges of owned pair counts = total.
+        let total_owned: u64 = (0..plan.ranges as u64)
+            .map(|t| {
+                let lo = t * plan.range_len;
+                let hi = ((t + 1) * plan.range_len).min(plan.total);
+                hi.saturating_sub(lo)
+            })
+            .sum();
+        assert_eq!(total_owned, plan.total);
+        // Every entity is sent exactly to the ranges holding its pairs.
+        for (i, &(b, p)) in dist.membership.iter().enumerate() {
+            let ranges = plan.ranges_of(b, p);
+            let n = plan.sizes[b as usize];
+            let off = plan.offsets[b as usize];
+            let mut expected = Vec::new();
+            for l in 0..pair_count(n as usize) {
+                let (a, q) = decode_pair(n, l);
+                if a == u64::from(p) || q == u64::from(p) {
+                    let t = (off + l) / plan.range_len;
+                    if !expected.contains(&t) {
+                        expected.push(t);
+                    }
+                }
+            }
+            assert_eq!(ranges, expected, "entity {i} at ({b},{p})");
+        }
+    }
+
+    #[test]
+    fn all_strategies_find_identical_matches() {
+        let inputs = skewed_inputs();
+        let expected = brute_force_pairs(&inputs);
+        let cfg = job(4);
+        for strategy in [
+            PairStrategy::Hash,
+            PairStrategy::BlockSplit,
+            PairStrategy::PairRange,
+        ] {
+            let report = run_pair_job(
+                &cfg,
+                strategy,
+                &inputs,
+                |x| x.0,
+                |a, b| (a.1 + b.1).is_multiple_of(3),
+            )
+            .unwrap();
+            assert_eq!(
+                report.matches,
+                expected,
+                "strategy {} must find the brute-force pairs",
+                strategy.name()
+            );
+            assert_eq!(
+                report.job.counters.get("pairs_compared"),
+                BlockDistribution::compute(&inputs, |x| x.0).total_pairs(),
+                "strategy {} must compare each co-blocked pair once",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn balancing_strategies_beat_hash_on_skew() {
+        let inputs = skewed_inputs();
+        let cfg = job(4); // 8 reduce tasks
+        let hash = run_pair_job(&cfg, PairStrategy::Hash, &inputs, |x| x.0, |_, _| false).unwrap();
+        let split = run_pair_job(
+            &cfg,
+            PairStrategy::BlockSplit,
+            &inputs,
+            |x| x.0,
+            |_, _| false,
+        )
+        .unwrap();
+        let range = run_pair_job(
+            &cfg,
+            PairStrategy::PairRange,
+            &inputs,
+            |x| x.0,
+            |_, _| false,
+        )
+        .unwrap();
+        assert!(
+            split.max_mean_ratio() < hash.max_mean_ratio(),
+            "blocksplit {:.2} vs hash {:.2}",
+            split.max_mean_ratio(),
+            hash.max_mean_ratio()
+        );
+        assert!(
+            range.max_mean_ratio() < hash.max_mean_ratio(),
+            "pairrange {:.2} vs hash {:.2}",
+            range.max_mean_ratio(),
+            hash.max_mean_ratio()
+        );
+    }
+
+    #[test]
+    fn lpt_assignment_is_deterministic_and_bounded() {
+        let weights = [7u64, 3, 3, 2, 2, 2, 1];
+        let a = lpt_assign(&weights, 3);
+        assert_eq!(a, lpt_assign(&weights, 3));
+        assert!(a.iter().all(|&p| p < 3));
+        let mut loads = [0u64; 3];
+        for (i, &p) in a.iter().enumerate() {
+            loads[p] += weights[i];
+        }
+        // LPT guarantees max load ≤ (4/3)·OPT; here OPT = 20/3 ≈ 6.7 → ≤ 8.
+        assert!(*loads.iter().max().unwrap() <= 8, "{loads:?}");
+    }
+
+    #[test]
+    fn shuffle_balance_weights() {
+        assert_eq!(ShuffleBalance::Records.weight(10), 10);
+        assert_eq!(ShuffleBalance::Pairs.weight(10), 45);
+        assert_eq!(ShuffleBalance::Pairs.weight(0), 0);
+        assert_eq!(ShuffleBalance::Pairs.weight(1), 0);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_clean() {
+        let cfg = job(2);
+        for strategy in [
+            PairStrategy::Hash,
+            PairStrategy::BlockSplit,
+            PairStrategy::PairRange,
+        ] {
+            let empty: Vec<(u64, u64)> = Vec::new();
+            let r = run_pair_job(&cfg, strategy, &empty, |x| x.0, |_, _| true).unwrap();
+            assert!(r.matches.is_empty());
+            let singles: Vec<(u64, u64)> = (0..5).map(|i| (i, i)).collect();
+            let r = run_pair_job(&cfg, strategy, &singles, |x| x.0, |_, _| true).unwrap();
+            assert!(r.matches.is_empty(), "{}", strategy.name());
+        }
+    }
+}

@@ -60,7 +60,94 @@ impl<K: Sync> Partitioner<K> for RangePartitioner<K> {
     fn partition(&self, key: &K, num_partitions: usize) -> usize {
         let v = (self.project)(key);
         let idx = self.bounds.partition_point(|&b| b <= v);
-        idx.min(self.bounds.len() - 1).min(num_partitions.saturating_sub(1))
+        idx.min(self.bounds.len() - 1)
+            .min(num_partitions.saturating_sub(1))
+    }
+}
+
+/// Explicit table lookup for dense `u64` index keys: key `k` goes to
+/// `assign[k]`. The load-balancing planners (`crate::loadbalance`) use this
+/// to place their match tasks on the reduce tasks an LPT pass picked.
+/// Out-of-table keys fall back to hashing, so stray keys still land in range.
+#[derive(Debug, Clone)]
+pub struct AssignedPartitioner {
+    assign: Vec<usize>,
+}
+
+impl AssignedPartitioner {
+    /// Build from a per-key partition table.
+    pub fn new(assign: Vec<usize>) -> Self {
+        Self { assign }
+    }
+
+    /// Number of keys in the table.
+    pub fn len(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// True if the table is empty (all keys fall back to hashing).
+    pub fn is_empty(&self) -> bool {
+        self.assign.is_empty()
+    }
+}
+
+impl Partitioner<u64> for AssignedPartitioner {
+    #[inline]
+    fn partition(&self, key: &u64, num_partitions: usize) -> usize {
+        let r = num_partitions.max(1);
+        match self.assign.get(*key as usize) {
+            Some(&p) => p.min(r - 1),
+            None => (hash_one(key) % r as u64) as usize,
+        }
+    }
+}
+
+/// The key *is* the partition index (clamped). PairRange jobs key records by
+/// their reduce range, which makes routing the identity function.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IndexPartitioner;
+
+impl Partitioner<u64> for IndexPartitioner {
+    #[inline]
+    fn partition(&self, key: &u64, num_partitions: usize) -> usize {
+        (*key as usize).min(num_partitions.max(1) - 1)
+    }
+}
+
+/// Whole-key placement table: each known key routes to its planned
+/// partition, unknown keys fall back to hashing. The runtime's balanced
+/// shuffle (`JobConfig::shuffle_balance`) builds one of these after the map
+/// phase, once the key distribution is known.
+#[derive(Debug, Clone)]
+pub struct KeyMapPartitioner<K> {
+    map: std::collections::HashMap<K, usize>,
+}
+
+impl<K: Hash + Eq> KeyMapPartitioner<K> {
+    /// Build from an explicit key → partition map.
+    pub fn new(map: std::collections::HashMap<K, usize>) -> Self {
+        Self { map }
+    }
+
+    /// Number of keys with a planned placement.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no key has a planned placement.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<K: Hash + Eq + Sync> Partitioner<K> for KeyMapPartitioner<K> {
+    #[inline]
+    fn partition(&self, key: &K, num_partitions: usize) -> usize {
+        let r = num_partitions.max(1);
+        match self.map.get(key) {
+            Some(&p) => p.min(r - 1),
+            None => (hash_one(key) % r as u64) as usize,
+        }
     }
 }
 
@@ -111,5 +198,78 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn range_partitioner_rejects_empty() {
         let _ = RangePartitioner::new(Vec::new(), |k: &u64| *k);
+    }
+
+    #[test]
+    fn range_partitioner_key_at_and_above_last_bound() {
+        // Keys exactly at the last bound and far above it both clamp to the
+        // last partition — no index can ever escape `0..partitions()`.
+        let p = RangePartitioner::new(vec![10, 20], |k: &u64| *k);
+        assert_eq!(p.partition(&20, 2), 1);
+        assert_eq!(p.partition(&u64::MAX, 2), 1);
+    }
+
+    #[test]
+    fn range_partitioner_clamps_to_fewer_runtime_partitions() {
+        // A partitioner planned for 4 ranges run on a 2-task job must not
+        // index past the runtime's partition count.
+        let p = RangePartitioner::new(vec![10, 20, 30, 40], |k: &u64| *k);
+        assert_eq!(p.partitions(), 4);
+        for key in [0u64, 15, 25, 35, 99] {
+            assert!(p.partition(&key, 2) < 2, "key {key}");
+        }
+    }
+
+    #[test]
+    fn range_partitioner_single_partition_job() {
+        let p = RangePartitioner::new(vec![100], |k: &u64| *k);
+        for key in [0u64, 50, 100, 1000] {
+            assert_eq!(p.partition(&key, 1), 0);
+        }
+    }
+
+    #[test]
+    fn assigned_partitioner_uses_table_then_hash_fallback() {
+        let p = AssignedPartitioner::new(vec![2, 0, 1]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.partition(&0u64, 4), 2);
+        assert_eq!(p.partition(&1u64, 4), 0);
+        assert_eq!(p.partition(&2u64, 4), 1);
+        // Beyond the table: deterministic hash fallback, still in range.
+        let fallback = p.partition(&17u64, 4);
+        assert_eq!(fallback, p.partition(&17u64, 4));
+        assert!(fallback < 4);
+    }
+
+    #[test]
+    fn assigned_partitioner_clamps_stale_assignments() {
+        // A table built for 8 partitions but run with 2 must clamp.
+        let p = AssignedPartitioner::new(vec![7, 5, 0]);
+        assert_eq!(p.partition(&0u64, 2), 1);
+        assert_eq!(p.partition(&1u64, 2), 1);
+        assert_eq!(p.partition(&2u64, 2), 0);
+    }
+
+    #[test]
+    fn index_partitioner_is_identity_with_clamp() {
+        let p = IndexPartitioner;
+        assert_eq!(p.partition(&3u64, 8), 3);
+        assert_eq!(p.partition(&99u64, 8), 7);
+        assert_eq!(p.partition(&0u64, 1), 0);
+    }
+
+    #[test]
+    fn key_map_partitioner_routes_known_keys() {
+        let mut map = std::collections::HashMap::new();
+        map.insert("hot", 3);
+        map.insert("cold", 0);
+        let p = KeyMapPartitioner::new(map);
+        assert_eq!(p.partition(&"hot", 4), 3);
+        assert_eq!(p.partition(&"cold", 4), 0);
+        let unseen = p.partition(&"new", 4);
+        assert!(unseen < 4);
+        assert_eq!(unseen, p.partition(&"new", 4));
+        // Clamped when the runtime has fewer partitions than planned.
+        assert_eq!(p.partition(&"hot", 2), 1);
     }
 }

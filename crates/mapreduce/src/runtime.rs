@@ -8,6 +8,7 @@
 //! ([`crate::cost::virtual_makespan`]). This separation lets a laptop
 //! faithfully reproduce curves for a 25-machine cluster.
 
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -20,6 +21,7 @@ use crate::error::MrError;
 use crate::job::{
     Combiner, Emitter, JobConfig, Mapper, PartitionReducer, TaskContext, TaskId, TaskKind,
 };
+use crate::loadbalance::lpt_assign;
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::progress::ProgressEvent;
 
@@ -39,6 +41,25 @@ impl PhaseReport {
             task_costs,
             makespan,
         }
+    }
+
+    /// Histogram of the per-task virtual costs over `bins` equal-width bins
+    /// spanning `[0, max_cost]` — a quick visual of shuffle skew (a balanced
+    /// phase piles every task into the top bin; a skewed one puts a lone
+    /// straggler there and everyone else near zero).
+    pub fn cost_histogram(&self, bins: usize) -> Vec<usize> {
+        let bins = bins.max(1);
+        let mut hist = vec![0usize; bins];
+        let max = self.task_costs.iter().cloned().fold(0.0_f64, f64::max);
+        if max <= 0.0 {
+            hist[0] = self.task_costs.len();
+            return hist;
+        }
+        for &c in &self.task_costs {
+            let b = ((c / max) * bins as f64) as usize;
+            hist[b.min(bins - 1)] += 1;
+        }
+        hist
     }
 }
 
@@ -83,6 +104,25 @@ impl<O> JobResult<O> {
         let var = costs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / costs.len() as f64;
         var.sqrt() / mean
     }
+
+    /// `max / mean` of the reduce tasks' virtual costs — the load-balancing
+    /// literature's skew ratio (Kolb et al., arXiv:1108.1631): 1.0 means a
+    /// perfectly even reduce phase, `r` means one task did all the work.
+    pub fn reduce_max_mean_ratio(&self) -> f64 {
+        max_mean_ratio(&self.reduce_phase.task_costs)
+    }
+}
+
+/// `max / mean` over a cost vector; 1.0 for empty or all-zero phases.
+fn max_mean_ratio(costs: &[f64]) -> f64 {
+    if costs.is_empty() {
+        return 1.0;
+    }
+    let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+    if mean <= f64::EPSILON {
+        return 1.0;
+    }
+    costs.iter().cloned().fold(0.0_f64, f64::max) / mean
 }
 
 /// Run `count` closures (index-addressed) on up to `threads` OS threads,
@@ -247,7 +287,14 @@ where
     R: PartitionReducer<Key = M::Key, Value = M::Value>,
     C: Combiner<Key = M::Key, Value = M::Value>,
 {
-    execute(cfg, mapper, reducer, &HashPartitioner, Some(combiner), inputs)
+    execute(
+        cfg,
+        mapper,
+        reducer,
+        &HashPartitioner,
+        Some(combiner),
+        inputs,
+    )
 }
 
 /// Run a job with a custom partitioner (the paper's second job routes blocks
@@ -336,10 +383,22 @@ where
             if cfg.charge_framework_costs {
                 ctx.charge(ctx.cost_model.emit_per_record * records as f64);
             }
+            // Balanced shuffles defer partitioning until the key
+            // distribution is known (after the map phase), so their map
+            // tasks keep everything in one bucket.
+            let bucket_count = if cfg.shuffle_balance.is_some() {
+                1
+            } else {
+                num_reduce
+            };
             let mut buckets: Vec<Vec<(M::Key, M::Value)>> =
-                (0..num_reduce).map(|_| Vec::new()).collect();
+                (0..bucket_count).map(|_| Vec::new()).collect();
             for (k, v) in emitter.into_records() {
-                let p = partitioner.partition(&k, num_reduce).min(num_reduce - 1);
+                let p = if bucket_count == 1 {
+                    0
+                } else {
+                    partitioner.partition(&k, num_reduce).min(num_reduce - 1)
+                };
                 buckets[p].push((k, v));
             }
             let mut records = records;
@@ -366,7 +425,8 @@ where
                     *bucket = out;
                 }
                 ctx.counters.add("combiner_input_records", records);
-                ctx.counters.add("combiner_output_records", combined_records);
+                ctx.counters
+                    .add("combiner_output_records", combined_records);
                 records = combined_records;
             }
             apply_faults(cfg, TaskKind::Map, idx, &mut ctx);
@@ -401,9 +461,39 @@ where
     // stable per map output), then group runs of equal keys.
     let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
         (0..num_reduce).map(|_| Vec::new()).collect();
-    for m in map_outputs {
-        for (p, bucket) in m.buckets.into_iter().enumerate() {
-            partitions[p].extend(bucket);
+    if let Some(balance) = cfg.shuffle_balance {
+        // Whole-key balanced scatter: weigh each distinct key under the
+        // configured model and place keys on reduce tasks heaviest-first
+        // (LPT). BTreeMap iteration gives a deterministic plan.
+        let mut key_records: BTreeMap<&M::Key, u64> = BTreeMap::new();
+        for m in &map_outputs {
+            for bucket in &m.buckets {
+                for (k, _) in bucket {
+                    *key_records.entry(k).or_insert(0) += 1;
+                }
+            }
+        }
+        let weights: Vec<u64> = key_records.values().map(|&c| balance.weight(c)).collect();
+        let assign = lpt_assign(&weights, num_reduce);
+        let table: HashMap<M::Key, usize> = key_records
+            .keys()
+            .zip(assign)
+            .map(|(k, p)| ((*k).clone(), p))
+            .collect();
+        for m in map_outputs {
+            for bucket in m.buckets {
+                for (k, v) in bucket {
+                    // Every key was counted above, so the table is total.
+                    let p = table[&k].min(num_reduce - 1);
+                    partitions[p].push((k, v));
+                }
+            }
+        }
+    } else {
+        for m in map_outputs {
+            for (p, bucket) in m.buckets.into_iter().enumerate() {
+                partitions[p].extend(bucket);
+            }
         }
     }
     type Grouped<K, V> = Vec<(K, Vec<V>)>;
@@ -457,6 +547,12 @@ where
 
     let reduce_costs: Vec<f64> = reduce_outputs.iter().map(|r| r.cost).collect();
     let reduce_phase = PhaseReport::new(reduce_costs.clone(), cfg.cluster.reduce_slots());
+    // Shuffle-skew counter: max/mean of the reduce-task virtual costs, in
+    // thousandths so it fits the u64 counter space (1000 = perfectly even).
+    counters.add(
+        "shuffle_skew_milli",
+        (max_mean_ratio(&reduce_costs) * 1000.0).round() as u64,
+    );
     let reduce_starts = list_schedule_starts(&reduce_costs, cfg.cluster.reduce_slots());
     let reduce_base = cfg.cost_model.job_startup + map_phase.makespan;
 
@@ -634,10 +730,7 @@ mod tests {
         assert!(!result.timeline.is_empty());
         let base = cfg.cost_model.job_startup + result.map_phase.makespan;
         assert!(result.timeline.iter().all(|e| e.cost >= base));
-        assert!(result
-            .timeline
-            .windows(2)
-            .all(|w| w[0].cost <= w[1].cost));
+        assert!(result.timeline.windows(2).all(|w| w[0].cost <= w[1].cost));
     }
 
     struct SumCombiner;
@@ -706,8 +799,13 @@ mod tests {
 
         let mut faulty_cfg = job(2);
         faulty_cfg.faults = Some(FaultPlan::fail_reduce(0, 2));
-        let faulty =
-            run_job(&faulty_cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+        let faulty = run_job(
+            &faulty_cfg,
+            &KeyMod,
+            &GroupReducer::new(SumReducer),
+            &inputs,
+        )
+        .unwrap();
 
         let mut a = clean.outputs.clone();
         let mut b = faulty.outputs.clone();

@@ -1,0 +1,341 @@
+//! Integration tests for the skew-aware shuffle load balancers: the
+//! ISSUE's acceptance criterion (≥2× skew reduction on the seeded Zipf
+//! workload with identical outputs), fault injection crossed with every
+//! strategy, whole-key balanced shuffling on an ordinary keyed job, and
+//! property tests over random workloads.
+
+use pper_datagen::{SkewedBlocksGen, SkewedRecord};
+use pper_mapreduce::loadbalance::{pair_count, BlockSplitPlan, PairRangePlan};
+use pper_mapreduce::prelude::*;
+use proptest::prelude::*;
+
+fn paper_cfg(machines: usize) -> JobConfig {
+    JobConfig::new("lb-integration", ClusterSpec::paper(machines))
+}
+
+fn zipf_workload(n: usize, seed: u64) -> Vec<SkewedRecord> {
+    SkewedBlocksGen::new(n, (n / 40).max(8), 1.4, seed).generate()
+}
+
+fn payload_match(a: &SkewedRecord, b: &SkewedRecord) -> bool {
+    a.payload % 1000 == b.payload % 1000
+}
+
+fn run(
+    cfg: &JobConfig,
+    strategy: PairStrategy,
+    records: &[SkewedRecord],
+) -> pper_mapreduce::loadbalance::PairJobReport {
+    run_pair_job(cfg, strategy, records, |r| r.key.clone(), payload_match)
+        .expect("pair job must run")
+}
+
+/// The acceptance criterion: on the seeded Zipf scenario, BlockSplit and
+/// PairRange each cut the max/mean reduce-task virtual-cost ratio by at
+/// least 2× versus the hash baseline, while producing identical sorted
+/// outputs.
+#[test]
+fn balancers_cut_skew_at_least_2x_with_identical_outputs() {
+    let records = zipf_workload(6_000, 42);
+    let cfg = paper_cfg(10); // 20 reduce tasks, the paper's μ = 10 cluster
+    let hash = run(&cfg, PairStrategy::Hash, &records);
+    let split = run(&cfg, PairStrategy::BlockSplit, &records);
+    let range = run(&cfg, PairStrategy::PairRange, &records);
+
+    assert_eq!(hash.matches, split.matches, "blocksplit changed the output");
+    assert_eq!(hash.matches, range.matches, "pairrange changed the output");
+    assert!(!hash.matches.is_empty(), "workload should produce matches");
+
+    let hash_ratio = hash.max_mean_ratio();
+    for (name, report) in [("blocksplit", &split), ("pairrange", &range)] {
+        let ratio = report.max_mean_ratio();
+        assert!(
+            hash_ratio >= 2.0 * ratio,
+            "{name}: hash max/mean {hash_ratio:.2} should be ≥2× its {ratio:.2}"
+        );
+        assert!(
+            report.job.reduce_phase.makespan < hash.job.reduce_phase.makespan,
+            "{name}: a flatter reduce phase must finish earlier"
+        );
+    }
+}
+
+/// Every strategy charges exactly one `resolve_pair` per co-blocked pair,
+/// so total virtual reduce work is conserved — balancing only moves it.
+#[test]
+fn strategies_conserve_total_comparisons() {
+    let records = zipf_workload(3_000, 7);
+    let cfg = paper_cfg(5);
+    let expected: u64 = {
+        use std::collections::HashMap;
+        let mut sizes: HashMap<&str, usize> = HashMap::new();
+        for r in &records {
+            *sizes.entry(r.key.as_str()).or_insert(0) += 1;
+        }
+        sizes.values().map(|&n| pair_count(n)).sum()
+    };
+    for strategy in [
+        PairStrategy::Hash,
+        PairStrategy::BlockSplit,
+        PairStrategy::PairRange,
+    ] {
+        let report = run(&cfg, strategy, &records);
+        assert_eq!(
+            report.job.counters.get("pairs_compared"),
+            expected,
+            "{}",
+            strategy.name()
+        );
+    }
+}
+
+/// Injected reduce failures under skew: every strategy must survive retries
+/// with byte-identical outputs, a consistent `task_retries` counter, and a
+/// timeline/cost no earlier than the clean run's.
+#[test]
+fn fault_injection_crossed_with_every_strategy() {
+    let records = zipf_workload(2_500, 99);
+    for strategy in [
+        PairStrategy::Hash,
+        PairStrategy::BlockSplit,
+        PairStrategy::PairRange,
+    ] {
+        let clean_cfg = paper_cfg(4);
+        let clean = run(&clean_cfg, strategy, &records);
+
+        let mut faulty_cfg = paper_cfg(4);
+        faulty_cfg.faults = Some(FaultPlan::fail_reduce(0, 2));
+        let faulty = run(&faulty_cfg, strategy, &records);
+
+        assert_eq!(
+            clean.matches,
+            faulty.matches,
+            "{}: retried run must find identical matches",
+            strategy.name()
+        );
+        assert_eq!(
+            faulty.job.counters.get("task_retries"),
+            2,
+            "{}",
+            strategy.name()
+        );
+        assert!(
+            faulty.job.reduce_phase.task_costs[0] > clean.job.reduce_phase.task_costs[0],
+            "{}: failed attempts must waste virtual time",
+            strategy.name()
+        );
+        for (c, f) in clean.job.reduce_phase.task_costs[1..]
+            .iter()
+            .zip(&faulty.job.reduce_phase.task_costs[1..])
+        {
+            assert_eq!(c, f, "{}: unaffected tasks cost the same", strategy.name());
+        }
+        assert!(
+            faulty.job.total_virtual_cost >= clean.job.total_virtual_cost,
+            "{}",
+            strategy.name()
+        );
+    }
+}
+
+/// The runtime-level whole-key balancer (`JobConfig::shuffle_balance`) must
+/// preserve the semantics of an ordinary keyed job while flattening the
+/// reduce-cost distribution on skewed keys.
+#[test]
+fn whole_key_balancing_preserves_job_semantics() {
+    struct KeyedMapper;
+    impl Mapper for KeyedMapper {
+        type Input = (String, u64);
+        type Key = String;
+        type Value = u64;
+        fn map(
+            &self,
+            input: &(String, u64),
+            _ctx: &mut TaskContext,
+            out: &mut Emitter<String, u64>,
+        ) {
+            out.emit(input.0.clone(), input.1);
+        }
+    }
+    struct PairwiseReducer;
+    impl Reducer for PairwiseReducer {
+        type Key = String;
+        type Value = u64;
+        type Output = (String, u64);
+        fn reduce(
+            &self,
+            key: &String,
+            values: Vec<u64>,
+            ctx: &mut TaskContext,
+            out: &mut Vec<(String, u64)>,
+        ) {
+            // Quadratic per-key work: the shape that skews under hashing.
+            ctx.charge(pair_count(values.len()) as f64);
+            out.push((key.clone(), values.iter().sum()));
+        }
+    }
+
+    let inputs: Vec<(String, u64)> = zipf_workload(4_000, 11)
+        .into_iter()
+        .map(|r| (r.key, r.payload))
+        .collect();
+    let plain_cfg = paper_cfg(8);
+    let plain = run_job(
+        &plain_cfg,
+        &KeyedMapper,
+        &GroupReducer::new(PairwiseReducer),
+        &inputs,
+    )
+    .unwrap();
+    let mut balanced_cfg = paper_cfg(8);
+    balanced_cfg.shuffle_balance = Some(ShuffleBalance::Pairs);
+    let balanced = run_job(
+        &balanced_cfg,
+        &KeyedMapper,
+        &GroupReducer::new(PairwiseReducer),
+        &inputs,
+    )
+    .unwrap();
+
+    let mut a = plain.outputs.clone();
+    let mut b = balanced.outputs.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "balancing must not change per-key results");
+    assert!(
+        balanced.reduce_max_mean_ratio() <= plain.reduce_max_mean_ratio(),
+        "balanced {:.2} should not exceed hash-routed {:.2}",
+        balanced.reduce_max_mean_ratio(),
+        plain.reduce_max_mean_ratio()
+    );
+    assert!(balanced.counters.get("shuffle_skew_milli") > 0);
+}
+
+proptest! {
+    // Partitioner contract: index always `< num_partitions` and
+    // deterministic, for every partitioner type on random keys.
+    #[test]
+    fn prop_partitioners_stay_in_range_and_deterministic(
+        keys in proptest::collection::vec(0u64..50_000, 1..200),
+        partitions in 1usize..32,
+        bounds_raw in proptest::collection::vec(1u64..40_000, 1..16),
+        table in proptest::collection::vec(0usize..64, 0..40),
+    ) {
+        let hash = HashPartitioner;
+        let mut bounds = bounds_raw;
+        bounds.sort_unstable();
+        bounds.dedup();
+        let range = RangePartitioner::new(bounds, |k: &u64| *k);
+        let assigned = AssignedPartitioner::new(table);
+        let index = IndexPartitioner;
+        for k in &keys {
+            for p in [
+                hash.partition(k, partitions),
+                range.partition(k, partitions),
+                assigned.partition(k, partitions),
+                index.partition(k, partitions),
+            ] {
+                prop_assert!(p < partitions);
+            }
+            prop_assert_eq!(hash.partition(k, partitions), hash.partition(k, partitions));
+            prop_assert_eq!(range.partition(k, partitions), range.partition(k, partitions));
+            prop_assert_eq!(
+                assigned.partition(k, partitions),
+                assigned.partition(k, partitions)
+            );
+        }
+    }
+
+    // BlockSplit on random skewed block-size distributions: match-task
+    // costs conserve the pair total, every task lands on a valid reduce
+    // task, and the LPT load spread respects the classic bound
+    // `max ≤ total/r + max_task`.
+    #[test]
+    fn prop_blocksplit_conserves_pairs_and_balances(
+        sizes in proptest::collection::vec(1usize..120, 1..40),
+        reduce_tasks in 1usize..24,
+    ) {
+        // Build a distribution directly from synthetic block sizes.
+        let items: Vec<(u32, u32)> = sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(b, &n)| (0..n as u32).map(move |i| (b as u32, i)))
+            .collect();
+        let dist = pper_mapreduce::BlockDistribution::compute(&items, |x| x.0);
+        prop_assert_eq!(&dist.sizes, &sizes);
+        let plan = BlockSplitPlan::plan(&dist, reduce_tasks);
+        let total: u64 = plan.costs.iter().sum();
+        prop_assert_eq!(total, dist.total_pairs());
+        prop_assert!(plan.assignment.iter().all(|&a| a < reduce_tasks));
+        let mut loads = vec![0u64; reduce_tasks];
+        for (t, &a) in plan.assignment.iter().enumerate() {
+            loads[a] += plan.costs[t];
+        }
+        let max_task = plan.costs.iter().copied().max().unwrap_or(0);
+        let bound = total.div_ceil(reduce_tasks as u64) + max_task;
+        prop_assert!(
+            *loads.iter().max().unwrap_or(&0) <= bound,
+            "loads {:?} exceed bound {}", loads, bound
+        );
+    }
+
+    // PairRange on random distributions: the per-entity range replication
+    // is exactly the set of ranges owning one of its pairs, so summing
+    // owned segments over blocks covers the pair space once.
+    #[test]
+    fn prop_pairrange_covers_pair_space_once(
+        sizes in proptest::collection::vec(1usize..60, 1..24),
+        reduce_tasks in 1usize..16,
+    ) {
+        let items: Vec<(u32, u32)> = sizes
+            .iter()
+            .enumerate()
+            .flat_map(|(b, &n)| (0..n as u32).map(move |i| (b as u32, i)))
+            .collect();
+        let dist = pper_mapreduce::BlockDistribution::compute(&items, |x| x.0);
+        let plan = PairRangePlan::plan(&dist, reduce_tasks);
+        let mut owned: u64 = 0;
+        for t in 0..plan.ranges as u64 {
+            let lo = t * plan.range_len;
+            let hi = ((t + 1) * plan.range_len).min(plan.total);
+            owned += hi.saturating_sub(lo);
+        }
+        prop_assert_eq!(owned, plan.total);
+        // Every entity of a pair-bearing block is shuffled somewhere.
+        for &(b, p) in &dist.membership {
+            let ranges = plan.ranges_of(b, p);
+            if dist.sizes[b as usize] >= 2 {
+                prop_assert!(!ranges.is_empty(), "entity ({b},{p}) unreplicated");
+                prop_assert!(ranges.iter().all(|&t| t < plan.ranges as u64));
+            } else {
+                prop_assert!(ranges.is_empty());
+            }
+        }
+    }
+
+    // End-to-end on random workloads: all three strategies agree with each
+    // other pair-for-pair (coverage: every co-blocked pair compared exactly
+    // once, none invented).
+    #[test]
+    fn prop_strategies_agree_on_random_workloads(
+        raw in proptest::collection::vec((0u64..20, 0u64..50), 0..120),
+        machines in 1usize..5,
+    ) {
+        let cfg = JobConfig::new("prop-lb", ClusterSpec::paper(machines));
+        let mut reports = Vec::new();
+        for strategy in [
+            PairStrategy::Hash,
+            PairStrategy::BlockSplit,
+            PairStrategy::PairRange,
+        ] {
+            let r = run_pair_job(&cfg, strategy, &raw, |x| x.0, |a, b| a.1 == b.1)
+                .expect("pair job");
+            reports.push(r);
+        }
+        prop_assert_eq!(&reports[0].matches, &reports[1].matches);
+        prop_assert_eq!(&reports[0].matches, &reports[2].matches);
+        let compared = reports[0].job.counters.get("pairs_compared");
+        prop_assert_eq!(reports[1].job.counters.get("pairs_compared"), compared);
+        prop_assert_eq!(reports[2].job.counters.get("pairs_compared"), compared);
+    }
+}

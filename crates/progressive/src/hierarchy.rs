@@ -198,7 +198,10 @@ mod tests {
             run.feedback(dup);
             found += u32::from(dup);
         }
-        assert_eq!(found, 5, "expected 5 cluster pairs in the first 26 comparisons");
+        assert_eq!(
+            found, 5,
+            "expected 5 cluster pairs in the first 26 comparisons"
+        );
         // The sixth ((0,3), distance 3) arrives before any cross-leaf pair.
         let mut last_cluster_pos = 26;
         while let Some((a, b)) = run.next_pair() {

@@ -224,7 +224,9 @@ mod tests {
         let mut psnm = Psnm::default().start((0..n).collect(), 20);
         let mut psnm_found = 0;
         for _ in 0..60 {
-            let Some((a, b)) = psnm.next_pair() else { break };
+            let Some((a, b)) = psnm.next_pair() else {
+                break;
+            };
             let dup = is_dup(a, b);
             psnm.feedback(dup);
             psnm_found += u32::from(dup);
@@ -242,7 +244,10 @@ mod tests {
             psnm_found >= sn_found,
             "psnm {psnm_found} should front-load at least as many duplicates as sn {sn_found}"
         );
-        assert!(psnm_found >= 7, "psnm should find most cluster pairs early, got {psnm_found}");
+        assert!(
+            psnm_found >= 7,
+            "psnm should find most cluster pairs early, got {psnm_found}"
+        );
     }
 
     #[test]

@@ -94,10 +94,7 @@ mod tests {
         // precedes ⟨e3,e4⟩ because distance 1 < 2.
         let mut run = SnHint.start(vec![3, 2, 4, 1], 3);
         let pairs = drain(&mut run);
-        assert_eq!(
-            pairs,
-            vec![(3, 2), (2, 4), (4, 1), (3, 4), (2, 1), (3, 1)]
-        );
+        assert_eq!(pairs, vec![(3, 2), (2, 4), (4, 1), (3, 4), (2, 1), (3, 1)]);
     }
 
     #[test]

@@ -277,8 +277,7 @@ mod tests {
                 let eb = ds.entity(b);
                 let ta = locator.trees_of_entity(&families, ea);
                 let tb = locator.trees_of_entity(&families, eb);
-                let shared: Vec<usize> =
-                    ta.iter().copied().filter(|t| tb.contains(t)).collect();
+                let shared: Vec<usize> = ta.iter().copied().filter(|t| tb.contains(t)).collect();
                 if shared.is_empty() {
                     continue;
                 }
@@ -298,7 +297,10 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 50, "expected many co-blocked pairs, got {checked}");
+        assert!(
+            checked > 50,
+            "expected many co-blocked pairs, got {checked}"
+        );
     }
 
     #[test]
@@ -338,7 +340,12 @@ mod tests {
             })
             .expect("parent tree exists");
 
-        // Two entities inside the split tree's root block.
+        // Two entities inside the split tree's root block whose pair is not
+        // already owned by a more dominating family: SHOULD-RESOLVE (Fig. 7)
+        // hands a pair shared by an earlier family's root tree to *that*
+        // tree, so such pairs are legitimately skipped by both the parent
+        // and the split tree. The split-ownership claim under test applies
+        // to the remaining pairs.
         let level = tree.root_level;
         let key = tree.root_key();
         let inside: Vec<u32> = ds
@@ -346,10 +353,22 @@ mod tests {
             .iter()
             .filter(|e| fam.key_at(e, level) == key)
             .map(|e| e.id)
-            .take(2)
             .collect();
-        assert_eq!(inside.len(), 2, "split root should have >= 2 members");
-        let (a, b) = (inside[0], inside[1]);
+        assert!(inside.len() >= 2, "split root should have >= 2 members");
+        let (a, b) = inside
+            .iter()
+            .enumerate()
+            .find_map(|(i, &a)| {
+                inside[i + 1..]
+                    .iter()
+                    .find(|&&b| {
+                        (0..family).all(|m| {
+                            families[m].root_key(ds.entity(a)) != families[m].root_key(ds.entity(b))
+                        })
+                    })
+                    .map(|&b| (a, b))
+            })
+            .expect("a pair not co-blocked in any more dominating family");
 
         let pa = locator.dom_list(&schedule, &families, ds.entity(a), parent_tree);
         let pb = locator.dom_list(&schedule, &families, ds.entity(b), parent_tree);

@@ -46,9 +46,12 @@ pub fn window_pairs(n: usize, window: usize) -> u64 {
 ///   block's covered-pair ratio (uncovered pairs are skipped by the
 ///   SHOULD-RESOLVE check at negligible cost).
 ///
-/// Whether a node is a root/leaf is judged on the *current* structure, so a
+/// Whether a node is a *root* is judged on the current tree structure, so a
 /// split sub-tree's root automatically gets `Frac = 1`, the root window and
-/// full resolution, as §IV-C2's split strategy requires.
+/// full resolution, as §IV-C2's split strategy requires. Whether it is a
+/// *leaf* is judged on the blocking hierarchy (`hier_leaf`): a parent whose
+/// children were split away keeps mid-level parameters, since its sub-blocks
+/// still exist and are resolved in another task.
 pub fn recompute_tree(tree: &mut PlanTree, ctx: &EstimationContext) {
     let n_nodes = tree.nodes.len();
     let mut d = vec![0.0f64; n_nodes]; // d(X) per node
@@ -57,7 +60,7 @@ pub fn recompute_tree(tree: &mut PlanTree, ctx: &EstimationContext) {
     for idx in (0..n_nodes).rev() {
         let node = &tree.nodes[idx];
         let is_root = node.is_root();
-        let is_leaf = node.is_leaf();
+        let is_leaf = node.hier_leaf;
         d[idx] = ctx.prob.estimate_dups(
             tree.family,
             node.level,
@@ -73,7 +76,7 @@ pub fn recompute_tree(tree: &mut PlanTree, ctx: &EstimationContext) {
             .iter()
             .map(|&c| {
                 let cn = &tree.nodes[c];
-                ctx.policy.frac(false, cn.is_leaf()) * d[c]
+                ctx.policy.frac(false, cn.hier_leaf) * d[c]
             })
             .sum();
         let dup = (frac * d[idx] - child_found).max(0.0);
@@ -167,6 +170,7 @@ mod tests {
             level: if parent.is_some() { 1 } else { 0 },
             parent,
             children: vec![],
+            hier_leaf: true,
             size,
             cov,
             dup: 0.0,
@@ -227,6 +231,7 @@ mod tests {
             nodes: vec![
                 PlanNode {
                     children: vec![1],
+                    hier_leaf: false,
                     ..leaf("k", None, 10, 45)
                 },
                 leaf("kc", Some(0), 6, 15),
@@ -260,11 +265,13 @@ mod tests {
             nodes: vec![
                 PlanNode {
                     children: vec![1],
+                    hier_leaf: false,
                     ..leaf("k", None, 40, 700)
                 },
                 PlanNode {
                     children: vec![2],
                     level: 1,
+                    hier_leaf: false,
                     ..leaf("ka", Some(0), 30, 400)
                 },
                 PlanNode {
@@ -315,6 +322,7 @@ mod tests {
             nodes: vec![
                 PlanNode {
                     children: vec![1],
+                    hier_leaf: false,
                     ..leaf("k", None, 40, 700)
                 },
                 leaf("ka", Some(0), 25, 250),

@@ -146,7 +146,12 @@ impl Buckets {
                 total += node.cost;
             }
         }
-        sl.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        sl.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap()
+                .then(a.0.cmp(&b.0))
+                .then(a.1.cmp(&b.1))
+        });
 
         let share = match spec {
             CostVectorSpec::FullRun => (total / r.max(1) as f64).max(f64::MIN_POSITIVE),
@@ -185,7 +190,6 @@ impl Buckets {
     fn tree_vc(&self, trees: &[PlanTree], tree: usize) -> Vec<f64> {
         self.subtree_vc(trees, tree, 0)
     }
-
 }
 
 /// Generate a progressive schedule from job-1 statistics.
@@ -283,8 +287,7 @@ fn split_tree(
         let child_vc = buckets.subtree_vc(trees, t, child);
         // SHOULD-SPLIT: new root cost assuming Chd = E ∪ {child}; place it in
         // the root's bucket (V*), and test every bucket for overflow.
-        let new_root_cost =
-            root_cost_with_children(&trees[t], ctx, &kept, child);
+        let new_root_cost = root_cost_with_children(&trees[t], ctx, &kept, child);
         let mut overflow = false;
         for h in 0..cfg.num_buckets {
             let mut load = kept_vc[h] + child_vc[h];
@@ -370,13 +373,8 @@ fn partition_trees(trees: &[PlanTree], cfg: &ScheduleConfig) -> Vec<usize> {
         .collect();
 
     let mut order: Vec<usize> = (0..trees.len()).collect();
-    let weighted_cost = |t: usize| -> f64 {
-        vcs[t]
-            .iter()
-            .zip(&weights)
-            .map(|(&v, &w)| v * w)
-            .sum()
-    };
+    let weighted_cost =
+        |t: usize| -> f64 { vcs[t].iter().zip(&weights).map(|(&v, &w)| v * w).sum() };
     order.sort_by(|&a, &b| weighted_cost(b).partial_cmp(&weighted_cost(a)).unwrap());
 
     let mut load = vec![vec![0.0; cfg.num_buckets]; cfg.reduce_tasks];
@@ -587,7 +585,10 @@ mod tests {
             let mut seen = std::collections::HashSet::new();
             for order in &s.block_order {
                 for b in order {
-                    assert!(seen.insert((b.tree, b.node)), "{scheduler:?} duplicated block");
+                    assert!(
+                        seen.insert((b.tree, b.node)),
+                        "{scheduler:?} duplicated block"
+                    );
                 }
             }
             let total: usize = s.trees.iter().map(|t| t.nodes.len()).sum();
@@ -693,11 +694,7 @@ mod tests {
         // Splitting redistributes covered pairs but must not create or lose
         // root-level coverage overall.
         let (stats, n) = make_stats(5_000, 48);
-        let before: u64 = stats
-            .trees
-            .iter()
-            .map(|t| t.nodes[0].covered_pairs())
-            .sum();
+        let before: u64 = stats.trees.iter().map(|t| t.nodes[0].covered_pairs()).sum();
         let s = run(&stats, n, TreeScheduler::Progressive, 8);
         let after: u64 = s.trees.iter().map(|t| t.nodes[0].cov).sum();
         assert_eq!(before, after);

@@ -55,8 +55,6 @@ pub mod probmodel;
 
 pub use dominance::{should_resolve, DomList, TreeLocator};
 pub use estimate::{recompute_tree, EstimationContext};
-pub use generate::{
-    generate_schedule, CostVectorSpec, ScheduleConfig, TreeScheduler, Weighting,
-};
+pub use generate::{generate_schedule, CostVectorSpec, ScheduleConfig, TreeScheduler, Weighting};
 pub use plan::{PlanNode, PlanTree, Schedule};
 pub use probmodel::{DupProbability, HeuristicProb, SampledProb, TrainedProb};

@@ -16,6 +16,12 @@ pub struct PlanNode {
     pub parent: Option<usize>,
     /// Child indices within this tree.
     pub children: Vec<usize>,
+    /// True if the block has no sub-blocks in the *blocking hierarchy*.
+    /// Unlike `is_leaf()`, this is invariant under schedule-time tree
+    /// splitting: a parent whose children are split off keeps
+    /// `hier_leaf == false`, because its sub-blocks still exist — they are
+    /// just resolved in another task.
+    pub hier_leaf: bool,
     /// Block cardinality `|X|`.
     pub size: usize,
     /// Covered pairs `Cov(X)` (§IV-A); decreases when a descendant sub-tree
@@ -40,6 +46,7 @@ impl PlanNode {
             level: stats.level,
             parent: stats.parent,
             children: stats.children.clone(),
+            hier_leaf: stats.children.is_empty(),
             size: stats.size,
             cov: stats.covered_pairs(),
             dup: 0.0,
@@ -171,7 +178,9 @@ impl PlanTree {
 
         // Remove the split indices from this tree (compact + remap).
         let parent_of_sub = self.nodes[sub_root].parent.expect("non-root has parent");
-        self.nodes[parent_of_sub].children.retain(|&c| c != sub_root);
+        self.nodes[parent_of_sub]
+            .children
+            .retain(|&c| c != sub_root);
         let mut keep: Vec<usize> = (0..self.nodes.len())
             .filter(|i| sub_indices.binary_search(i).is_err())
             .collect();
@@ -257,6 +266,7 @@ mod tests {
             key: key.into(),
             level,
             parent,
+            hier_leaf: children.is_empty(),
             children,
             size,
             cov,

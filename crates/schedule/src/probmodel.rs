@@ -116,16 +116,17 @@ impl TrainedProb {
             for tree in &forest.trees {
                 for block in &tree.blocks {
                     let fraction = block.size() as f64 / n as f64;
-                    let bucket = bounds.partition_point(|&b| b < fraction).min(bounds.len() - 1);
+                    let bucket = bounds
+                        .partition_point(|&b| b < fraction)
+                        .min(bounds.len() - 1);
                     // Count duplicate pairs among *covered* pairs: pairs not
                     // shared with a dominating family's root block.
                     let mut dup = 0u64;
                     let mut total = 0u64;
                     for (i, &a) in block.members.iter().enumerate() {
                         for &b in &block.members[i + 1..] {
-                            let covered = !(0..forest.family).any(|f| {
-                                signatures[a as usize][f] == signatures[b as usize][f]
-                            });
+                            let covered = !(0..forest.family)
+                                .any(|f| signatures[a as usize][f] == signatures[b as usize][f]);
                             if covered {
                                 total += 1;
                                 dup += u64::from(train.truth.is_duplicate(a, b));
@@ -227,8 +228,9 @@ impl SampledProb {
                         continue;
                     }
                     let fraction = m as f64 / n as f64;
-                    let bucket =
-                        bounds.partition_point(|&b| b < fraction).min(bounds.len() - 1);
+                    let bucket = bounds
+                        .partition_point(|&b| b < fraction)
+                        .min(bounds.len() - 1);
                     let samples = pairs_per_block.min(m * (m - 1) / 2);
                     let mut dup = 0u64;
                     for _ in 0..samples {
@@ -238,9 +240,7 @@ impl SampledProb {
                             j += 1;
                         }
                         let (a, b) = (block.members[i], block.members[j]);
-                        dup += u64::from(
-                            rule.matches(&ds.entity(a).attrs, &ds.entity(b).attrs),
-                        );
+                        dup += u64::from(rule.matches(&ds.entity(a).attrs, &ds.entity(b).attrs));
                     }
                     let entry = tables
                         .entry((forest.family, block.level))
@@ -350,7 +350,11 @@ mod tests {
         let ds = PubGen::new(2_000, 81).generate();
         let families = presets::citeseer_families();
         let rule = MatchRule::new(
-            vec![WeightedAttr::new(0, 1.0, AttributeSim::Levenshtein { max_chars: None })],
+            vec![WeightedAttr::new(
+                0,
+                1.0,
+                AttributeSim::Levenshtein { max_chars: None },
+            )],
             0.8,
         );
         let model = SampledProb::sample(&ds, &families, &rule, 10, 7);
@@ -371,7 +375,11 @@ mod tests {
         let ds = PubGen::new(500, 82).generate();
         let families = presets::citeseer_families();
         let rule = MatchRule::new(
-            vec![WeightedAttr::new(0, 1.0, AttributeSim::Levenshtein { max_chars: None })],
+            vec![WeightedAttr::new(
+                0,
+                1.0,
+                AttributeSim::Levenshtein { max_chars: None },
+            )],
             0.8,
         );
         let a = SampledProb::sample(&ds, &families, &rule, 5, 3);

@@ -74,7 +74,10 @@ mod tests {
         // Standard worked examples from the record-linkage literature.
         assert!(close(jaro("MARTHA", "MARHTA"), 0.944_444_444_444_444_4));
         assert!(close(jaro("DIXON", "DICKSONX"), 0.766_666_666_666_666_7));
-        assert!(close(jaro_winkler("MARTHA", "MARHTA"), 0.961_111_111_111_111_1));
+        assert!(close(
+            jaro_winkler("MARTHA", "MARHTA"),
+            0.961_111_111_111_111_1
+        ));
     }
 
     #[test]

@@ -37,7 +37,11 @@ fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
 pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if long.len() - short.len() > bound {
         return None;
     }
@@ -61,7 +65,9 @@ pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
         let mut best = row[lo - 1];
         for j in lo..=hi {
             let cost = usize::from(lc != short[j - 1]);
-            let val = (prev_diag + cost).min(row[j - 1] + 1).min(row[j].saturating_add(1));
+            let val = (prev_diag + cost)
+                .min(row[j - 1] + 1)
+                .min(row[j].saturating_add(1));
             prev_diag = row[j];
             row[j] = val;
             best = best.min(val);

@@ -36,7 +36,7 @@ pub mod rule;
 pub mod tokens;
 
 pub use jaro::{jaro, jaro_winkler};
-pub use phonetic::{soundex, soundex_similarity};
 pub use levenshtein::{levenshtein, levenshtein_bounded, levenshtein_similarity};
+pub use phonetic::{soundex, soundex_similarity};
 pub use rule::{AttributeSim, MatchRule, WeightedAttr};
 pub use tokens::{jaccard_tokens, qgram_similarity};

@@ -180,7 +180,7 @@ mod tests {
         let r = rule();
         let a = ent("title", "ICDE");
         let b = vec!["title".to_string()]; // venue missing
-        // Only the title term is comparable: identical titles ⇒ score 1.
+                                           // Only the title term is comparable: identical titles ⇒ score 1.
         assert!((r.score(&a, &b) - 1.0).abs() < 1e-12);
         // Nothing comparable at all ⇒ 0.
         let empty = vec![String::new(), String::new()];
@@ -215,10 +215,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold")]
     fn rejects_bad_threshold() {
-        let _ = MatchRule::new(
-            vec![WeightedAttr::new(0, 1.0, AttributeSim::Exact)],
-            1.5,
-        );
+        let _ = MatchRule::new(vec![WeightedAttr::new(0, 1.0, AttributeSim::Exact)], 1.5);
     }
 
     #[test]

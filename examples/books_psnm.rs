@@ -9,8 +9,8 @@
 //! ```
 
 use pper::datagen::BookGen;
-use pper::er::{ErConfig, ProbModelKind, ProgressiveEr};
 use pper::er::job1::run_job1;
+use pper::er::{ErConfig, ProbModelKind, ProgressiveEr};
 
 fn main() {
     let n: usize = std::env::args()
@@ -31,11 +31,7 @@ fn main() {
     let job1 = run_job1(&ds, &config).expect("job 1");
     let schedule = pipeline.generate_schedule(&ds, &job1.stats);
     let original_trees = job1.stats.trees.len();
-    let split_trees = schedule
-        .trees
-        .iter()
-        .filter(|t| t.root_level > 0)
-        .count();
+    let split_trees = schedule.trees.iter().filter(|t| t.root_level > 0).count();
     println!(
         "schedule: {} trees ({} created by splitting), {} reduce tasks",
         schedule.trees.len(),

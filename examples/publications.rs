@@ -47,7 +47,10 @@ fn main() {
         .map(|r| r.total_cost)
         .fold(0.0, f64::max);
 
-    println!("\n{:>12} {:>14} {:>14} {:>14}", "cost", "ours", "basic-F", "basic-0.01");
+    println!(
+        "\n{:>12} {:>14} {:>14} {:>14}",
+        "cost", "ours", "basic-F", "basic-0.01"
+    );
     for i in 1..=12 {
         let c = max_cost * i as f64 / 12.0;
         println!(

@@ -13,8 +13,12 @@ use pper::simil::{AttributeSim, MatchRule, WeightedAttr};
 fn main() {
     // Table I: nine people records, six real-world people.
     let ds = toy_people();
-    println!("dataset: {} entities, {} real-world objects, {} duplicate pairs",
-        ds.len(), ds.truth.num_clusters(), ds.truth.total_duplicate_pairs());
+    println!(
+        "dataset: {} entities, {} real-world objects, {} duplicate pairs",
+        ds.len(),
+        ds.truth.num_clusters(),
+        ds.truth.total_duplicate_pairs()
+    );
 
     // Blocking per the paper: X¹ = 2-char name prefix (with 3- and 5-char
     // sub-blocking), Y¹ = state.
@@ -55,7 +59,11 @@ fn main() {
     for &(a, b) in &result.duplicates {
         let ea = ds.entity(a);
         let eb = ds.entity(b);
-        let correct = if ds.truth.is_duplicate(a, b) { "✓" } else { "✗" };
+        let correct = if ds.truth.is_duplicate(a, b) {
+            "✓"
+        } else {
+            "✗"
+        };
         println!(
             "  {correct} ⟨e{}, e{}⟩  {:?} / {:?}",
             a + 1,

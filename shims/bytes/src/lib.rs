@@ -1,0 +1,216 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! `BytesMut` is a growable byte buffer, `Bytes` a cheaply splittable
+//! read cursor. Unlike the real crate this version copies on `split_to`
+//! and `slice` instead of sharing reference-counted storage — the spill
+//! codec only cares about the logical byte stream, not allocation
+//! behaviour.
+
+use std::ops::{Deref, RangeBounds};
+
+/// Read-side trait: consuming bytes from the front of a buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// True if any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Pop one byte from the front.
+    ///
+    /// # Panics
+    /// Panics if the buffer is empty.
+    fn get_u8(&mut self) -> u8;
+}
+
+/// Write-side trait: appending bytes to a buffer.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Remove all bytes.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Convert into an immutable [`Bytes`] cursor.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.buf,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+}
+
+/// Immutable byte cursor: reads advance `pos` over owned storage.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// The unread suffix as a slice.
+    fn rest(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Copy the unread bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.rest().to_vec()
+    }
+
+    /// Split off and return the next `len` unread bytes, advancing self.
+    ///
+    /// # Panics
+    /// Panics if fewer than `len` bytes remain.
+    pub fn split_to(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "split_to out of range");
+        let out = Bytes {
+            data: self.data[self.pos..self.pos + len].to_vec(),
+            pos: 0,
+        };
+        self.pos += len;
+        out
+    }
+
+    /// A new cursor over `range` of the unread bytes.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&s) => s,
+            std::ops::Bound::Excluded(&s) => s + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&e) => e + 1,
+            std::ops::Bound::Excluded(&e) => e,
+            std::ops::Bound::Unbounded => self.remaining(),
+        };
+        Bytes {
+            data: self.rest()[start..end].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.rest()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Self {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read() {
+        let mut m = BytesMut::new();
+        m.put_u8(1);
+        m.put_slice(&[2, 3, 4]);
+        assert_eq!(m.len(), 4);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 1);
+        let head = b.split_to(2);
+        assert_eq!(head.to_vec(), vec![2, 3]);
+        assert_eq!(b.remaining(), 1);
+        assert_eq!(b.get_u8(), 4);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_is_relative_to_cursor() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        let _ = b.get_u8();
+        assert_eq!(b.slice(0..2).to_vec(), vec![8, 7]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Mirrors criterion's execution model: invoked without `--bench`
+//! (e.g. by `cargo test` running a `harness = false` bench target) each
+//! benchmark body executes exactly once as a smoke test; under
+//! `cargo bench` (which passes `--bench`) each body is timed with a
+//! short warmup and a coarse wall-clock measurement, printed as
+//! ns/iteration. No statistics, plots, or comparison to saved
+//! baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(self.bench_mode, &id.to_string(), |b| f(b));
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.bench_mode, &label, |b| f(b));
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.bench_mode, &label, |b| f(b, input));
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterized benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units processed per iteration (reported by the real crate; accepted
+/// and ignored here).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Handed to each benchmark body to drive the measured routine.
+pub struct Bencher {
+    bench_mode: bool,
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly (once in test mode) and record timing.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.bench_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup, then measure for a short budget.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = Duration::from_millis(100);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 10_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.measured = Some((iters.max(1), start.elapsed()));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(bench_mode: bool, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        bench_mode,
+        measured: None,
+    };
+    f(&mut bencher);
+    if bench_mode {
+        match bencher.measured {
+            Some((iters, elapsed)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{label:<50} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("{label:<50} (no measurement)"),
+        }
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut runs = 0;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { bench_mode: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(5));
+        let mut hits = 0;
+        g.bench_with_input(BenchmarkId::new("case", 1), &3u32, |b, &x| {
+            b.iter(|| hits += x)
+        });
+        g.finish();
+        assert_eq!(hits, 3);
+    }
+}

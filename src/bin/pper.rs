@@ -212,7 +212,9 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         );
         report.full_run
     } else {
-        ProgressiveEr::new(config).try_run(&ds).map_err(|e| e.to_string())?
+        ProgressiveEr::new(config)
+            .try_run(&ds)
+            .map_err(|e| e.to_string())?
     };
     print_curve(&result);
 

@@ -25,7 +25,10 @@ fn publications_pipeline_end_to_end() {
             .families
             .iter()
             .any(|f| f.root_key(ea) == f.root_key(eb));
-        assert!(co_blocked, "pair ({a},{b}) reported without sharing a block");
+        assert!(
+            co_blocked,
+            "pair ({a},{b}) reported without sharing a block"
+        );
     }
 }
 

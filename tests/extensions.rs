@@ -101,7 +101,11 @@ fn mechanisms_agree_on_exhaustive_coverage() {
     // change order, not coverage.
     let ds = PubGen::new(1_200, 406).generate();
     let mut finals = Vec::new();
-    for mechanism in [MechanismKind::Sn, MechanismKind::Psnm, MechanismKind::Hierarchy] {
+    for mechanism in [
+        MechanismKind::Sn,
+        MechanismKind::Psnm,
+        MechanismKind::Hierarchy,
+    ] {
         let mut config = ErConfig::citeseer(2);
         config.mechanism = mechanism;
         let result = ProgressiveEr::new(config).run(&ds);

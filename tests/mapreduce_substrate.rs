@@ -55,9 +55,14 @@ fn word_count_with_combiner_matches_plain() {
     let cfg = JobConfig::new("wc", ClusterSpec::paper(2));
     let inputs = corpus();
     let plain = run_job(&cfg, &Tokenize, &GroupReducer::new(Sum), &inputs).unwrap();
-    let combined =
-        run_job_with_combiner(&cfg, &Tokenize, &SumCombiner, &GroupReducer::new(Sum), &inputs)
-            .unwrap();
+    let combined = run_job_with_combiner(
+        &cfg,
+        &Tokenize,
+        &SumCombiner,
+        &GroupReducer::new(Sum),
+        &inputs,
+    )
+    .unwrap();
     let mut a = plain.outputs.clone();
     let mut b = combined.outputs.clone();
     a.sort();

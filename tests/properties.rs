@@ -1,10 +1,10 @@
 //! Property-based integration tests over randomized datasets: invariants
 //! that must hold for *any* generator configuration.
 
-use proptest::prelude::*;
 use pper::blocking::{build_forests, compute_signatures, pairs, presets, DatasetStats};
 use pper::datagen::PubGen;
 use pper::er::{ErConfig, ProgressiveEr};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig {

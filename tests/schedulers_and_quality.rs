@@ -12,14 +12,28 @@ fn run_with(scheduler: TreeScheduler, ds: &pper::datagen::Dataset) -> pper::er::
 
 #[test]
 fn all_schedulers_reach_the_same_final_recall() {
-    // Tree scheduling redistributes work; it must never change *what* is
-    // found, only *when*.
+    // Schedulers that merely redistribute trees across tasks (NoSplit, Lpt)
+    // must find exactly the same duplicates. The Progressive scheduler also
+    // *splits* sub-trees, and §IV-C2's split strategy promotes a split
+    // sub-tree's root to full root-style resolution (Frac = 1, root window):
+    // splitting can only add comparisons, never remove them, so Progressive
+    // finds a superset of the no-split schedulers' duplicates.
+    use std::collections::HashSet;
     let ds = PubGen::new(2_500, 301).generate();
     let ours = run_with(TreeScheduler::Progressive, &ds);
     let nosplit = run_with(TreeScheduler::NoSplit, &ds);
     let lpt = run_with(TreeScheduler::Lpt, &ds);
-    assert_eq!(ours.duplicates, nosplit.duplicates);
-    assert_eq!(ours.duplicates, lpt.duplicates);
+    assert_eq!(nosplit.duplicates, lpt.duplicates);
+    let ours_set: HashSet<_> = ours.duplicates.iter().copied().collect();
+    let missing: Vec<_> = nosplit
+        .duplicates
+        .iter()
+        .filter(|p| !ours_set.contains(p))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "splitting must never lose duplicates; lost {missing:?}"
+    );
 }
 
 #[test]
@@ -74,8 +88,7 @@ fn weighting_functions_change_schedule_not_correctness() {
         Weighting::Linear,
         Weighting::Exponential { decay: 0.5 },
     ] {
-        let result =
-            ProgressiveEr::new(ErConfig::citeseer(3).with_weighting(weighting)).run(&ds);
+        let result = ProgressiveEr::new(ErConfig::citeseer(3).with_weighting(weighting)).run(&ds);
         assert!(
             result.curve.final_recall() > 0.85,
             "{weighting:?}: {:.3}",
