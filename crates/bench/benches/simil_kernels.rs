@@ -3,7 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pper_simil::{
-    jaccard_tokens, jaro_winkler, levenshtein, levenshtein_bounded, qgram_similarity,
+    jaccard_tokens, jaro_winkler, levenshtein, levenshtein_bounded, qgram_similarity, AttributeSim,
+    MatchRule, PreparedRule, SimScratch, TokenInterner, WeightedAttr,
 };
 
 const TITLE_A: &str = "parallel progressive approach to entity resolution using mapreduce";
@@ -39,7 +40,6 @@ fn bench_other_kernels(c: &mut Criterion) {
 }
 
 fn bench_match_rule(c: &mut Criterion) {
-    use pper_simil::{AttributeSim, MatchRule, WeightedAttr};
     let rule = MatchRule::new(
         vec![
             WeightedAttr::new(0, 0.55, AttributeSim::Levenshtein { max_chars: None }),
@@ -59,12 +59,57 @@ fn bench_match_rule(c: &mut Criterion) {
     c.bench_function("match_rule/citeseer", |bench| {
         bench.iter(|| rule.matches(black_box(&a), black_box(&b)))
     });
+
+    // Prepared fast path on the same pair: signatures built once outside
+    // the timed loop, per-pair work is allocation-free with early exit.
+    let prepared = PreparedRule::new(rule);
+    let mut interner = TokenInterner::new();
+    let pa = prepared.prepare(&a, &mut interner);
+    let pb = prepared.prepare(&b, &mut interner);
+    let mut scratch = SimScratch::new();
+    c.bench_function("match_rule/citeseer-prepared", |bench| {
+        bench.iter(|| prepared.matches(black_box(&pa), black_box(&pb), &mut scratch))
+    });
+    c.bench_function("match_rule/citeseer-prepared-score", |bench| {
+        bench.iter(|| prepared.score(black_box(&pa), black_box(&pb), &mut scratch))
+    });
+}
+
+fn bench_prepared_levenshtein(c: &mut Criterion) {
+    // Myers bit-parallel vs two-row DP on an ASCII pair under 64 chars:
+    // single-term rules isolate the kernel on both paths.
+    let rule = MatchRule::new(
+        vec![WeightedAttr::new(
+            0,
+            1.0,
+            AttributeSim::Levenshtein {
+                max_chars: Some(48),
+            },
+        )],
+        0.5,
+    );
+    let a = vec![TITLE_A.to_string()];
+    let b = vec![TITLE_B.to_string()];
+    let prepared = PreparedRule::new(rule.clone());
+    let mut interner = TokenInterner::new();
+    let pa = prepared.prepare(&a, &mut interner);
+    let pb = prepared.prepare(&b, &mut interner);
+    let mut scratch = SimScratch::new();
+    let mut g = c.benchmark_group("levenshtein48");
+    g.bench_function("string", |bench| {
+        bench.iter(|| rule.score(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("prepared-myers", |bench| {
+        bench.iter(|| prepared.score(black_box(&pa), black_box(&pb), &mut scratch))
+    });
+    g.finish();
 }
 
 criterion_group!(
     benches,
     bench_levenshtein,
     bench_other_kernels,
-    bench_match_rule
+    bench_match_rule,
+    bench_prepared_levenshtein
 );
 criterion_main!(benches);

@@ -174,6 +174,118 @@ impl Figure {
     }
 }
 
+/// One timed measurement inside a [`BenchReport`].
+#[derive(Debug, serde::Serialize)]
+pub struct BenchRecord {
+    /// Measurement identifier, e.g. `"pairs/string"` or `"levenshtein/prepared"`.
+    pub name: String,
+    /// Number of operations timed.
+    pub iterations: u64,
+    /// Mean wall-clock nanoseconds per operation.
+    pub ns_per_op: f64,
+    /// Operations per second (`1e9 / ns_per_op`); for pair loops this is
+    /// pairs/sec.
+    pub ops_per_sec: f64,
+}
+
+impl BenchRecord {
+    /// Build a record from a total elapsed duration over `iterations` ops.
+    pub fn from_total(
+        name: impl Into<String>,
+        iterations: u64,
+        elapsed: std::time::Duration,
+    ) -> Self {
+        let iters = iterations.max(1);
+        let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+        Self {
+            name: name.into(),
+            iterations: iters,
+            ns_per_op,
+            ops_per_sec: if ns_per_op > 0.0 {
+                1e9 / ns_per_op
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Time `op` for `iterations` calls and build a record.
+    pub fn time<O>(name: impl Into<String>, iterations: u64, mut op: impl FnMut() -> O) -> Self {
+        let start = std::time::Instant::now();
+        for _ in 0..iterations {
+            std::hint::black_box(op());
+        }
+        Self::from_total(name, iterations, start.elapsed())
+    }
+}
+
+/// A machine-readable micro-benchmark report, persisted as
+/// `BENCH_<name>.json` so CI and scripts can track throughput over time.
+#[derive(Debug, serde::Serialize)]
+pub struct BenchReport {
+    /// Report identifier, e.g. "kernels".
+    pub name: String,
+    /// What was measured and how.
+    pub caption: String,
+    /// The measurements.
+    pub records: Vec<BenchRecord>,
+    /// Free-form derived observations, e.g. "prepared speedup: 4.1x".
+    pub notes: Vec<String>,
+}
+
+impl BenchReport {
+    /// Create an empty report.
+    pub fn new(name: impl Into<String>, caption: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            caption: caption.into(),
+            records: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a measurement.
+    pub fn push(&mut self, record: BenchRecord) {
+        self.records.push(record);
+    }
+
+    /// Add a derived observation.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.name, self.caption));
+        out.push_str(&format!(
+            "{:<32} {:>14} {:>16} {:>12}\n",
+            "name", "ns/op", "ops/sec", "iters"
+        ));
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:<32} {:>14.1} {:>16.0} {:>12}\n",
+                r.name, r.ns_per_op, r.ops_per_sec, r.iterations
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("-- {n}\n"));
+        }
+        out
+    }
+
+    /// Print to stdout and persist as `BENCH_<name>.json` under `out_dir`.
+    pub fn emit(&self, out_dir: &std::path::Path) {
+        println!("{}", self.render_text());
+        std::fs::create_dir_all(out_dir).expect("create experiment output dir");
+        let path = out_dir.join(format!("BENCH_{}.json", self.name));
+        let mut f = std::fs::File::create(&path).expect("create bench json");
+        serde_json::to_writer_pretty(&mut f, self).expect("serialize bench report");
+        writeln!(f).ok();
+        eprintln!("wrote {}", path.display());
+    }
+}
+
 fn truncate_label(s: &str, n: usize) -> &str {
     match s.char_indices().nth(n) {
         Some((idx, _)) => &s[..idx],
@@ -215,5 +327,44 @@ mod tests {
     fn max_cost_handles_empty() {
         assert_eq!(common_max_cost(&[]), 1.0);
         assert_eq!(common_max_cost(&[3.0, 7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn bench_record_math() {
+        let r = BenchRecord::from_total("x", 4, std::time::Duration::from_nanos(400));
+        assert_eq!(r.ns_per_op, 100.0);
+        assert_eq!(r.ops_per_sec, 1e7);
+        // Zero iterations must not divide by zero.
+        let z = BenchRecord::from_total("z", 0, std::time::Duration::from_nanos(10));
+        assert_eq!(z.iterations, 1);
+    }
+
+    #[test]
+    fn bench_record_time_runs_op() {
+        let mut calls = 0u64;
+        let r = BenchRecord::time("t", 5, || calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(r.iterations, 5);
+    }
+
+    #[test]
+    fn bench_report_renders_and_emits() {
+        let mut rep = BenchReport::new("probe", "unit-test report");
+        rep.push(BenchRecord::from_total(
+            "a",
+            10,
+            std::time::Duration::from_micros(1),
+        ));
+        rep.note("speedup 2.0x");
+        let text = rep.render_text();
+        assert!(text.contains("== probe — unit-test report =="));
+        assert!(text.contains("-- speedup 2.0x"));
+        let dir = std::env::temp_dir().join("pper-bench-report-test");
+        rep.emit(&dir);
+        let json = std::fs::read_to_string(dir.join("BENCH_probe.json")).unwrap();
+        serde_json::parse_value_str(&json).expect("emitted JSON must parse");
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("speedup 2.0x"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

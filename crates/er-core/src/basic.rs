@@ -21,7 +21,7 @@ use pper_blocking::BlockingFamily;
 use pper_datagen::{Dataset, Entity, EntityId};
 use pper_mapreduce::prelude::*;
 use pper_progressive::{PairSource, StopRule, StopState};
-use pper_simil::MatchRule;
+use pper_simil::{MatchRule, PreparedCache, PreparedRule, SimScratch};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ErConfig, MechanismKind};
@@ -113,21 +113,55 @@ impl Mapper for BasicMapper<'_> {
 struct BasicReducer<'a> {
     families: &'a [BlockingFamily],
     rule: &'a MatchRule,
+    /// Compiled prepared rule; `None` forces the original string path.
+    prepared: Option<PreparedRule>,
     mechanism: MechanismKind,
     basic: &'a BasicConfig,
 }
 
-impl Reducer for BasicReducer<'_> {
+/// Per-reduce-task resolve state: entities are prepared once per task (an
+/// entity recurring across this task's blocks reuses its signatures) and
+/// every pair comparison goes through the same reusable scratch.
+struct TaskSimState {
+    cache: PreparedCache<EntityId>,
+    scratch: SimScratch,
+}
+
+impl TaskSimState {
+    fn new() -> Self {
+        Self {
+            cache: PreparedCache::new(),
+            scratch: SimScratch::new(),
+        }
+    }
+}
+
+impl PartitionReducer for BasicReducer<'_> {
     type Key = BasicKey;
     type Value = Keyed;
     type Output = (EntityId, EntityId);
 
-    fn reduce(
+    fn reduce_partition(
+        &self,
+        groups: Vec<(BasicKey, Vec<Keyed>)>,
+        ctx: &mut TaskContext,
+        out: &mut Vec<(EntityId, EntityId)>,
+    ) {
+        let mut sim = TaskSimState::new();
+        for (key, values) in groups {
+            self.reduce_block(&key, values, ctx, out, &mut sim);
+        }
+    }
+}
+
+impl BasicReducer<'_> {
+    fn reduce_block(
         &self,
         key: &BasicKey,
         values: Vec<Keyed>,
         ctx: &mut TaskContext,
         out: &mut Vec<(EntityId, EntityId)>,
+        sim: &mut TaskSimState,
     ) {
         if values.len() < 2 {
             return;
@@ -165,7 +199,15 @@ impl Reducer for BasicReducer<'_> {
             }
             ctx.charge(ctx.cost_model.resolve_pair);
             ctx.counters.incr("pairs_compared");
-            let is_dup = self.rule.matches(&entities[&a].attrs, &entities[&b].attrs);
+            let is_dup = match &self.prepared {
+                Some(pr) => sim.cache.matches_pair(
+                    pr,
+                    &mut sim.scratch,
+                    (a, entities[&a].attrs.as_slice()),
+                    (b, entities[&b].attrs.as_slice()),
+                ),
+                None => self.rule.matches(&entities[&a].attrs, &entities[&b].attrs),
+            };
             run.feedback(is_dup);
             if is_dup {
                 ctx.counters.incr("duplicates_found");
@@ -206,12 +248,16 @@ impl BasicApproach {
         let mapper = BasicMapper {
             families: &self.er.families,
         };
-        let reducer = GroupReducer::new(BasicReducer {
+        let reducer = BasicReducer {
             families: &self.er.families,
             rule: &self.er.rule,
+            prepared: self
+                .er
+                .use_prepared
+                .then(|| PreparedRule::new(self.er.rule.clone())),
             mechanism: self.er.mechanism,
             basic: &self.basic,
-        });
+        };
         let result = run_job(&cfg, &mapper, &reducer, &ds.entities)?;
 
         let mut duplicates = result.outputs;

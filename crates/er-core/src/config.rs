@@ -137,6 +137,13 @@ pub struct ErConfig {
     /// `pper_mapreduce::loadbalance`). The scheduled resolution job is
     /// unaffected — its range partitioner already encodes a placement.
     pub shuffle_balance: Option<pper_mapreduce::ShuffleBalance>,
+    /// Resolve pairs through the prepared-signature fast path
+    /// (`pper_simil::prepared`): entities are prepared once per reduce task
+    /// and compared with zero per-pair allocation and threshold-aware early
+    /// exit. Decisions are identical to the string path (see the parity
+    /// contract in `pper_simil::prepared`); `false` forces the original
+    /// string path, kept for A/B regression tests.
+    pub use_prepared: bool,
 }
 
 impl std::fmt::Debug for ErConfig {
@@ -182,6 +189,7 @@ impl ErConfig {
             worker_threads: None,
             faults: None,
             shuffle_balance: None,
+            use_prepared: true,
         }
     }
 
@@ -215,6 +223,7 @@ impl ErConfig {
             worker_threads: None,
             faults: None,
             shuffle_balance: None,
+            use_prepared: true,
         }
     }
 
@@ -233,6 +242,13 @@ impl ErConfig {
     /// Enable skew-aware shuffle balancing on the hash-partitioned jobs.
     pub fn with_shuffle_balance(mut self, balance: pper_mapreduce::ShuffleBalance) -> Self {
         self.shuffle_balance = Some(balance);
+        self
+    }
+
+    /// Force the original string-path pair resolution (disable the prepared
+    /// fast path). Used by regression tests to A/B the two paths.
+    pub fn with_string_path(mut self) -> Self {
+        self.use_prepared = false;
         self
     }
 

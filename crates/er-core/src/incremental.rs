@@ -22,7 +22,7 @@ use std::collections::HashSet;
 use pper_blocking::{build_forests, BlockingFamily};
 use pper_datagen::{Dataset, Entity, EntityId, GroundTruth};
 use pper_progressive::{sort_by_attrs, LevelPolicy, PairSource, StopState};
-use pper_simil::MatchRule;
+use pper_simil::{MatchRule, PreparedEntity, PreparedRule, SimScratch, TokenInterner};
 
 use crate::config::MechanismKind;
 
@@ -39,6 +39,16 @@ pub struct BatchOutcome {
     pub comparisons: u64,
 }
 
+/// Prepared-path state: signatures are built once at ingest (indexed like
+/// `entities`), so every later comparison of an entity — across batches —
+/// reuses them with zero per-pair allocation.
+struct PrepState {
+    rule: PreparedRule,
+    interner: TokenInterner,
+    entities: Vec<PreparedEntity>,
+    scratch: SimScratch,
+}
+
 /// Accumulating incremental resolver.
 pub struct IncrementalEr {
     families: Vec<BlockingFamily>,
@@ -52,6 +62,8 @@ pub struct IncrementalEr {
     /// repeat work.
     compared: HashSet<(EntityId, EntityId)>,
     batches: usize,
+    /// Prepared fast path (on by default); `None` forces the string path.
+    prepared: Option<PrepState>,
 }
 
 impl IncrementalEr {
@@ -62,6 +74,12 @@ impl IncrementalEr {
         policy: LevelPolicy,
         mechanism: MechanismKind,
     ) -> Self {
+        let prepared = Some(PrepState {
+            rule: PreparedRule::new(rule.clone()),
+            interner: TokenInterner::new(),
+            entities: Vec::new(),
+            scratch: SimScratch::new(),
+        });
         Self {
             families,
             rule,
@@ -72,7 +90,15 @@ impl IncrementalEr {
             duplicates: Vec::new(),
             compared: HashSet::new(),
             batches: 0,
+            prepared,
         }
+    }
+
+    /// Force the original string-path pair resolution (disable the prepared
+    /// fast path). Used by regression tests to A/B the two paths.
+    pub fn with_string_path(mut self) -> Self {
+        self.prepared = None;
+        self
     }
 
     /// Entities accumulated so far.
@@ -98,6 +124,9 @@ impl IncrementalEr {
         let mut ids = Vec::with_capacity(batch.len());
         for (attrs, cluster) in batch {
             let id = self.entities.len() as EntityId;
+            if let Some(p) = &mut self.prepared {
+                p.entities.push(p.rule.prepare(&attrs, &mut p.interner));
+            }
             self.entities.push(Entity::new(id, attrs));
             self.clusters.push(cluster);
             ids.push(id);
@@ -148,10 +177,17 @@ impl IncrementalEr {
                             continue;
                         }
                         comparisons += 1;
-                        let is_dup = self.rule.matches(
-                            &self.entities[a as usize].attrs,
-                            &self.entities[b as usize].attrs,
-                        );
+                        let is_dup = match &mut self.prepared {
+                            Some(p) => p.rule.matches(
+                                &p.entities[a as usize],
+                                &p.entities[b as usize],
+                                &mut p.scratch,
+                            ),
+                            None => self.rule.matches(
+                                &self.entities[a as usize].attrs,
+                                &self.entities[b as usize].attrs,
+                            ),
+                        };
                         run.feedback(is_dup);
                         if is_dup {
                             found.push(key);

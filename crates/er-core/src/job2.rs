@@ -27,7 +27,7 @@ use pper_mapreduce::prelude::*;
 use pper_mapreduce::runtime::run_job_with_partitioner;
 use pper_progressive::{LevelPolicy, PairSource, StopState};
 use pper_schedule::{should_resolve, DomList, Schedule, TreeLocator};
-use pper_simil::MatchRule;
+use pper_simil::{MatchRule, PreparedCache, PreparedRule, SimScratch};
 
 use crate::config::ErConfig;
 use crate::EVENT_DUPLICATE;
@@ -79,6 +79,8 @@ struct ResolveReducer<'a> {
     schedule: &'a Arc<Schedule>,
     policy: &'a LevelPolicy,
     rule: &'a MatchRule,
+    /// Compiled prepared rule; `None` forces the original string path.
+    prepared: Option<PreparedRule>,
     mechanism: crate::config::MechanismKind,
     alpha: f64,
 }
@@ -126,6 +128,12 @@ impl PartitionReducer for ResolveReducer<'_> {
 
         let mut writer: IncrementalWriter<(EntityId, EntityId)> =
             IncrementalWriter::new(self.alpha, ctx.now());
+
+        // Per-reduce-task prepared state: an entity's signatures are built
+        // on its first comparison in this task and reused across every
+        // block (of any tree) the task resolves it in.
+        let mut cache: PreparedCache<EntityId> = PreparedCache::new();
+        let mut scratch = SimScratch::new();
 
         for block in &self.schedule.block_order[task] {
             let Some(state) = states.get_mut(&block.tree) else {
@@ -190,9 +198,17 @@ impl PartitionReducer for ResolveReducer<'_> {
                 ctx.charge(ctx.cost_model.resolve_pair);
                 ctx.counters.incr("pairs_compared");
                 state.resolved.insert(key);
-                let is_dup = self
-                    .rule
-                    .matches(&state.entities[&a].attrs, &state.entities[&b].attrs);
+                let is_dup = match &self.prepared {
+                    Some(pr) => cache.matches_pair(
+                        pr,
+                        &mut scratch,
+                        (a, state.entities[&a].attrs.as_slice()),
+                        (b, state.entities[&b].attrs.as_slice()),
+                    ),
+                    None => self
+                        .rule
+                        .matches(&state.entities[&a].attrs, &state.entities[&b].attrs),
+                };
                 run.feedback(is_dup);
                 if is_dup {
                     ctx.counters.incr("duplicates_found");
@@ -251,6 +267,9 @@ pub fn run_job2(
         schedule: &schedule,
         policy: &config.policy,
         rule: &config.rule,
+        prepared: config
+            .use_prepared
+            .then(|| PreparedRule::new(config.rule.clone())),
         mechanism: config.mechanism,
         alpha: config.alpha,
     };

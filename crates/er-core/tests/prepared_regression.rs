@@ -1,0 +1,143 @@
+//! End-to-end regression: the prepared-signature fast path must leave the
+//! pipeline's observable behaviour untouched. For both the Basic baseline
+//! and the full progressive pipeline on seeded generated data, the prepared
+//! and string paths must produce the identical duplicate set, identical
+//! virtual-cost accounting (total and overhead, bit-for-bit), identical
+//! comparison counters, and identical discovery timelines.
+
+use pper_datagen::PubGen;
+use pper_er::{BasicApproach, BasicConfig, ErConfig, ErRunResult, ProgressiveEr};
+
+/// Assert every observable of two runs is identical.
+fn assert_runs_identical(prepared: &ErRunResult, string: &ErRunResult, what: &str) {
+    assert_eq!(
+        prepared.duplicates, string.duplicates,
+        "{what}: duplicate sets must be identical"
+    );
+    assert_eq!(
+        prepared.total_cost.to_bits(),
+        string.total_cost.to_bits(),
+        "{what}: total virtual cost must be bit-identical ({} vs {})",
+        prepared.total_cost,
+        string.total_cost
+    );
+    assert_eq!(
+        prepared.overhead_cost.to_bits(),
+        string.overhead_cost.to_bits(),
+        "{what}: overhead cost must be bit-identical"
+    );
+    assert_eq!(
+        prepared.counters.get("pairs_compared"),
+        string.counters.get("pairs_compared"),
+        "{what}: comparison counts must agree"
+    );
+    assert_eq!(
+        prepared.counters.get("duplicates_found"),
+        string.counters.get("duplicates_found"),
+        "{what}: duplicate event counts must agree"
+    );
+    assert_eq!(
+        prepared.found_events.len(),
+        string.found_events.len(),
+        "{what}: discovery timelines must have equal length"
+    );
+    for (p, s) in prepared.found_events.iter().zip(&string.found_events) {
+        assert_eq!(
+            (p.0.to_bits(), p.1, p.2),
+            (s.0.to_bits(), s.1, s.2),
+            "{what}: discovery events must be identical"
+        );
+    }
+    assert_eq!(
+        prepared.precision.to_bits(),
+        string.precision.to_bits(),
+        "{what}: precision must be bit-identical"
+    );
+}
+
+#[test]
+fn basic_baseline_identical_across_paths() {
+    let ds = PubGen::new(2_000, 421).generate();
+    let basic = BasicConfig::full(15);
+    let with_prepared = BasicApproach::new(ErConfig::citeseer(2), basic.clone())
+        .run(&ds)
+        .unwrap();
+    let with_strings = BasicApproach::new(ErConfig::citeseer(2).with_string_path(), basic)
+        .run(&ds)
+        .unwrap();
+    assert!(
+        !with_prepared.duplicates.is_empty(),
+        "run must find duplicates for the comparison to mean anything"
+    );
+    assert_runs_identical(&with_prepared, &with_strings, "basic/citeseer");
+}
+
+#[test]
+fn basic_popcorn_identical_across_paths() {
+    // Early stopping depends on per-pair decisions *in order*, so any
+    // decision divergence would cascade into different stopping points.
+    let ds = PubGen::new(2_000, 422).generate();
+    let basic = BasicConfig::popcorn(15, 0.05);
+    let with_prepared = BasicApproach::new(ErConfig::citeseer(2), basic.clone())
+        .run(&ds)
+        .unwrap();
+    let with_strings = BasicApproach::new(ErConfig::citeseer(2).with_string_path(), basic)
+        .run(&ds)
+        .unwrap();
+    assert_runs_identical(&with_prepared, &with_strings, "basic-popcorn/citeseer");
+}
+
+#[test]
+fn progressive_pipeline_identical_across_paths() {
+    let ds = PubGen::new(2_500, 423).generate();
+    let with_prepared = ProgressiveEr::new(ErConfig::citeseer(2)).run(&ds);
+    let with_strings = ProgressiveEr::new(ErConfig::citeseer(2).with_string_path()).run(&ds);
+    assert!(
+        !with_prepared.duplicates.is_empty(),
+        "pipeline must find duplicates for the comparison to mean anything"
+    );
+    assert_runs_identical(&with_prepared, &with_strings, "progressive/citeseer");
+}
+
+#[test]
+fn incremental_identical_across_paths() {
+    use pper_er::IncrementalEr;
+    let ds = PubGen::new(1_200, 424).generate();
+    let batches: Vec<Vec<(Vec<String>, u32)>> = ds
+        .entities
+        .chunks(300)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|e| (e.attrs.clone(), ds.truth.cluster(e.id)))
+                .collect()
+        })
+        .collect();
+
+    let cfg = ErConfig::citeseer(2);
+    let mut with_prepared = IncrementalEr::new(
+        cfg.families.clone(),
+        cfg.rule.clone(),
+        cfg.policy.clone(),
+        cfg.mechanism,
+    );
+    let mut with_strings = IncrementalEr::new(
+        cfg.families.clone(),
+        cfg.rule.clone(),
+        cfg.policy.clone(),
+        cfg.mechanism,
+    )
+    .with_string_path();
+
+    for batch in batches {
+        let p = with_prepared.ingest(batch.clone());
+        let s = with_strings.ingest(batch);
+        assert_eq!(p.new_duplicates, s.new_duplicates, "batch {}", p.batch);
+        assert_eq!(p.comparisons, s.comparisons, "batch {}", p.batch);
+    }
+    assert_eq!(with_prepared.duplicates(), with_strings.duplicates());
+    assert!(
+        !with_prepared.duplicates().is_empty(),
+        "incremental run must find duplicates"
+    );
+}

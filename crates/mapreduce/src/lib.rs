@@ -123,8 +123,8 @@ pub mod prelude {
         TaskContext, TaskId, TaskKind,
     };
     pub use crate::loadbalance::{
-        run_pair_job, BlockDistribution, BlockSplitPlan, PairJobReport, PairRangePlan,
-        PairStrategy, ShuffleBalance,
+        run_pair_job, run_pair_job_with, BlockDistribution, BlockSplitPlan, PairJobReport,
+        PairRangePlan, PairStrategy, ShuffleBalance,
     };
     pub use crate::partition::{
         AssignedPartitioner, HashPartitioner, IndexPartitioner, KeyMapPartitioner, Partitioner,

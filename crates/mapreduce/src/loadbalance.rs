@@ -494,40 +494,56 @@ impl Mapper for PairMapper<'_> {
     }
 }
 
-struct PairReducer<'a, T, MF> {
+struct PairReducer<'a, T, CF> {
     inputs: &'a [T],
-    matches: &'a MF,
+    /// Builds one comparator per reduce task (see [`run_pair_job_with`]).
+    comparator: &'a CF,
     exec: &'a ExecPlan,
 }
 
-impl<T, MF> PairReducer<'_, T, MF>
+impl<T, CF, C> PairReducer<'_, T, CF>
 where
     T: Sync,
-    MF: Fn(&T, &T) -> bool + Sync,
+    CF: Fn() -> C + Sync,
+    C: FnMut(&T, &T) -> bool,
 {
-    fn compare(&self, a: u32, b: u32, ctx: &mut TaskContext, out: &mut Vec<(u32, u32)>) {
+    fn compare(
+        &self,
+        cmp: &mut C,
+        a: u32,
+        b: u32,
+        ctx: &mut TaskContext,
+        out: &mut Vec<(u32, u32)>,
+    ) {
         ctx.charge(ctx.cost_model.resolve_pair);
         ctx.counters.incr("pairs_compared");
-        if (self.matches)(&self.inputs[a as usize], &self.inputs[b as usize]) {
+        if cmp(&self.inputs[a as usize], &self.inputs[b as usize]) {
             out.push((a.min(b), a.max(b)));
         }
     }
 
     /// All pairs among `vals`, in ascending position order.
-    fn all_pairs(&self, mut vals: Vec<PairVal>, ctx: &mut TaskContext, out: &mut Vec<(u32, u32)>) {
+    fn all_pairs(
+        &self,
+        cmp: &mut C,
+        mut vals: Vec<PairVal>,
+        ctx: &mut TaskContext,
+        out: &mut Vec<(u32, u32)>,
+    ) {
         vals.sort_unstable_by_key(|v| v.1);
         for (i, a) in vals.iter().enumerate() {
             for b in &vals[i + 1..] {
-                self.compare(a.2, b.2, ctx, out);
+                self.compare(cmp, a.2, b.2, ctx, out);
             }
         }
     }
 }
 
-impl<T, MF> PartitionReducer for PairReducer<'_, T, MF>
+impl<T, CF, C> PartitionReducer for PairReducer<'_, T, CF>
 where
     T: Sync,
-    MF: Fn(&T, &T) -> bool + Sync,
+    CF: Fn() -> C + Sync,
+    C: FnMut(&T, &T) -> bool,
 {
     type Key = u64;
     type Value = PairVal;
@@ -539,12 +555,15 @@ where
         ctx: &mut TaskContext,
         out: &mut Vec<(u32, u32)>,
     ) {
+        // One comparator per reduce task: its captured state (e.g. prepared
+        // signature caches) lives exactly as long as the task.
+        let mut cmp = (self.comparator)();
         for (key, vals) in groups {
             match self.exec {
-                ExecPlan::Hash => self.all_pairs(vals, ctx, out),
+                ExecPlan::Hash => self.all_pairs(&mut cmp, vals, ctx, out),
                 ExecPlan::BlockSplit(plan) => match plan.tasks[key as usize] {
                     MatchTask::Whole { .. } | MatchTask::SelfSub { .. } => {
-                        self.all_pairs(vals, ctx, out)
+                        self.all_pairs(&mut cmp, vals, ctx, out)
                     }
                     MatchTask::Cross { block, i, j } => {
                         let m = plan.subs[block as usize];
@@ -562,7 +581,7 @@ where
                         right.sort_unstable_by_key(|v| v.1);
                         for a in &left {
                             for b in &right {
-                                self.compare(a.2, b.2, ctx, out);
+                                self.compare(&mut cmp, a.2, b.2, ctx, out);
                             }
                         }
                     }
@@ -592,7 +611,7 @@ where
                         for _ in lo..hi {
                             let a = members[&(p as u32)];
                             let bb = members[&(q as u32)];
-                            self.compare(a, bb, ctx, out);
+                            self.compare(&mut cmp, a, bb, ctx, out);
                             q += 1;
                             if q == n {
                                 p += 1;
@@ -623,6 +642,33 @@ where
     K: Ord + Hash + Clone,
     KF: Fn(&T) -> K,
     MF: Fn(&T, &T) -> bool + Sync,
+{
+    let matches = &matches;
+    run_pair_job_with(cfg, strategy, inputs, key_of, move || {
+        move |a: &T, b: &T| matches(a, b)
+    })
+}
+
+/// [`run_pair_job`] with a per-reduce-task *comparator factory* instead of
+/// a shared stateless comparator: `comparator()` is invoked once per reduce
+/// task and the returned `FnMut` closure handles every comparison of that
+/// task. This is the hook for comparators carrying mutable per-task state —
+/// e.g. `pper-simil`'s prepared-signature cache and scratch buffers, which
+/// must be task-local (reduce tasks run on parallel worker threads) yet
+/// shared across all of one task's match tasks.
+pub fn run_pair_job_with<T, K, KF, CF, C>(
+    cfg: &JobConfig,
+    strategy: PairStrategy,
+    inputs: &[T],
+    key_of: KF,
+    comparator: CF,
+) -> Result<PairJobReport, MrError>
+where
+    T: Sync,
+    K: Ord + Hash + Clone,
+    KF: Fn(&T) -> K,
+    CF: Fn() -> C + Sync,
+    C: FnMut(&T, &T) -> bool,
 {
     let r = cfg.reduce_tasks();
     let dist = BlockDistribution::compute(inputs, key_of);
@@ -678,7 +724,7 @@ where
     };
     let reducer = PairReducer {
         inputs,
-        matches: &matches,
+        comparator: &comparator,
         exec: &exec,
     };
     let mut job = run_job_with_partitioner(cfg, &mapper, &reducer, &partitioner, &indices)?;
@@ -905,6 +951,37 @@ mod tests {
             range.max_mean_ratio(),
             hash.max_mean_ratio()
         );
+    }
+
+    #[test]
+    fn comparator_factory_keeps_per_task_state() {
+        // A stateful comparator (memo keyed by payload) must behave exactly
+        // like the stateless one — state is task-local by construction.
+        let inputs = skewed_inputs();
+        let expected = brute_force_pairs(&inputs);
+        let cfg = job(4);
+        for strategy in [
+            PairStrategy::Hash,
+            PairStrategy::BlockSplit,
+            PairStrategy::PairRange,
+        ] {
+            let report = run_pair_job_with(
+                &cfg,
+                strategy,
+                &inputs,
+                |x| x.0,
+                || {
+                    let mut memo: HashMap<u64, u64> = HashMap::new();
+                    move |a: &(u64, u64), b: &(u64, u64)| {
+                        let ra = *memo.entry(a.1).or_insert(a.1 % 3);
+                        let rb = *memo.entry(b.1).or_insert(b.1 % 3);
+                        (ra + rb).is_multiple_of(3)
+                    }
+                },
+            )
+            .unwrap();
+            assert_eq!(report.matches, expected, "strategy {}", strategy.name());
+        }
     }
 
     #[test]

@@ -2,10 +2,28 @@
 //! short name-like strings (Hernández & Stolfo's merge/purge line of work,
 //! the paper's reference [3], popularized these for person names).
 
+/// Reusable buffers for [`jaro_chars_scratch`], so the prepared hot path
+/// performs no heap allocation per pair (buffers grow to a high-water mark
+/// and are reused).
+#[derive(Debug, Default)]
+pub(crate) struct JaroScratch {
+    b_used: Vec<bool>,
+    matches_a: Vec<char>,
+    matches_b: Vec<char>,
+}
+
 /// Jaro similarity in `[0, 1]`.
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    jaro_chars_scratch(&a, &b, &mut JaroScratch::default())
+}
+
+/// Jaro over pre-collected char slices with caller-provided scratch. This
+/// is the *only* implementation — the string entry point delegates here —
+/// so the prepared path is bit-identical to the string path by
+/// construction.
+pub(crate) fn jaro_chars_scratch(a: &[char], b: &[char], s: &mut JaroScratch) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -13,33 +31,36 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut b_used = vec![false; b.len()];
-    let mut matches_a: Vec<char> = Vec::new();
+    s.b_used.clear();
+    s.b_used.resize(b.len(), false);
+    s.matches_a.clear();
 
     for (i, &ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_used[j] && b[j] == ca {
-                b_used[j] = true;
-                matches_a.push(ca);
+        for (j, &cb) in b.iter().enumerate().take(hi).skip(lo) {
+            if !s.b_used[j] && cb == ca {
+                s.b_used[j] = true;
+                s.matches_a.push(ca);
                 break;
             }
         }
     }
-    let m = matches_a.len();
+    let m = s.matches_a.len();
     if m == 0 {
         return 0.0;
     }
-    let matches_b: Vec<char> = b
+    s.matches_b.clear();
+    s.matches_b.extend(
+        b.iter()
+            .zip(s.b_used.iter())
+            .filter(|(_, &used)| used)
+            .map(|(&c, _)| c),
+    );
+    let transpositions = s
+        .matches_a
         .iter()
-        .zip(b_used.iter())
-        .filter(|(_, &used)| used)
-        .map(|(&c, _)| c)
-        .collect();
-    let transpositions = matches_a
-        .iter()
-        .zip(matches_b.iter())
+        .zip(s.matches_b.iter())
         .filter(|(x, y)| x != y)
         .count()
         / 2;
@@ -54,6 +75,19 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let prefix = a
         .chars()
         .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+/// Jaro-Winkler over pre-collected char slices with caller scratch (same
+/// arithmetic as [`jaro_winkler`], on prepared buffers).
+pub(crate) fn jaro_winkler_chars_scratch(a: &[char], b: &[char], s: &mut JaroScratch) -> f64 {
+    let j = jaro_chars_scratch(a, b, s);
+    let prefix = a
+        .iter()
+        .zip(b.iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count();

@@ -11,13 +11,22 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     levenshtein_chars(&a, &b)
 }
 
-fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+pub(crate) fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    let mut row = Vec::new();
+    levenshtein_chars_scratch(a, b, &mut row)
+}
+
+/// Two-row DP over pre-collected char slices, reusing `row` as the DP
+/// buffer (the prepared hot path calls this with a per-task scratch so a
+/// pair comparison performs no heap allocation).
+pub(crate) fn levenshtein_chars_scratch(a: &[char], b: &[char], row: &mut Vec<usize>) -> usize {
     // Keep the shorter string in the inner dimension for less memory.
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if short.is_empty() {
         return long.len();
     }
-    let mut row: Vec<usize> = (0..=short.len()).collect();
+    row.clear();
+    row.extend(0..=short.len());
     for (i, &lc) in long.iter().enumerate() {
         let mut prev_diag = row[0];
         row[0] = i + 1;
@@ -86,13 +95,15 @@ pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
 /// Normalized Levenshtein similarity: `1 - distance / max(len)`, in `[0,1]`.
 /// Two empty strings are identical (similarity 1).
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
-    let la = a.chars().count();
-    let lb = b.chars().count();
-    let max_len = la.max(lb);
+    // Collect each string once; the char buffers provide both the length
+    // normalizer and the DP input.
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let max_len = a.len().max(b.len());
     if max_len == 0 {
         return 1.0;
     }
-    1.0 - levenshtein(a, b) as f64 / max_len as f64
+    1.0 - levenshtein_chars(&a, &b) as f64 / max_len as f64
 }
 
 #[cfg(test)]

@@ -14,6 +14,20 @@
 //! All similarity functions return scores in `[0, 1]` where `1.0` means
 //! identical.
 //!
+//! ## Prepared evaluation (the hot path)
+//!
+//! [`MatchRule::score`] re-derives char buffers, token sets and q-gram
+//! multisets on every pair. The [`prepared`] module amortizes that work per
+//! *entity*: [`PreparedRule::prepare`] builds a [`PreparedEntity`] once
+//! (per reduce task, via [`PreparedCache`]), and
+//! [`PreparedRule::score`]/[`PreparedRule::matches`] compare two prepared
+//! entities through a reusable [`SimScratch`] with **zero per-pair heap
+//! allocation**. `score` is bit-identical to the string path; `matches`
+//! additionally early-exits in descending weight order once the decision
+//! is forced, while still returning identical decisions. Levenshtein terms
+//! use a Myers bit-parallel fast path for ASCII inputs whose shorter side
+//! fits one 64-bit word.
+//!
 //! ```
 //! use pper_simil::{AttributeSim, MatchRule, WeightedAttr};
 //!
@@ -31,12 +45,15 @@
 
 pub mod jaro;
 pub mod levenshtein;
+mod myers;
 pub mod phonetic;
+pub mod prepared;
 pub mod rule;
 pub mod tokens;
 
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{levenshtein, levenshtein_bounded, levenshtein_similarity};
 pub use phonetic::{soundex, soundex_similarity};
+pub use prepared::{PreparedCache, PreparedEntity, PreparedRule, SimScratch, TokenInterner};
 pub use rule::{AttributeSim, MatchRule, WeightedAttr};
 pub use tokens::{jaccard_tokens, qgram_similarity};

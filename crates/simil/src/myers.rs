@@ -1,0 +1,104 @@
+//! Myers' bit-parallel Levenshtein distance (single-word variant, after
+//! Myers 1999 in Hyyrö's formulation), for ASCII patterns of at most 64
+//! characters.
+//!
+//! The pattern's character-class bitmasks live in a caller-provided 128-slot
+//! table that is filled before the scan and cleared afterwards by touching
+//! only the pattern's own characters — so repeated calls through a reused
+//! scratch table perform no heap allocation and no O(128) wipes.
+//!
+//! This computes the exact global edit distance (the same integer the
+//! two-row DP produces), in O(|text|) word operations instead of
+//! O(|pattern|·|text|) cell updates — the prepared hot path's fast path for
+//! title/venue-sized attributes.
+
+/// Exact Levenshtein distance between `pattern` and `text`, both ASCII,
+/// with `1 <= pattern.len() <= 64`. `peq` is the reusable character-class
+/// table; it must be all-zero on entry and is restored to all-zero before
+/// returning.
+pub(crate) fn myers_distance_ascii(pattern: &[char], text: &[char], peq: &mut [u64; 128]) -> usize {
+    let m = pattern.len();
+    debug_assert!((1..=64).contains(&m), "pattern length {m} out of range");
+    for (i, &c) in pattern.iter().enumerate() {
+        debug_assert!(c.is_ascii());
+        peq[c as usize] |= 1u64 << i;
+    }
+
+    let mut pv = !0u64; // vertical positive deltas (column 0: D[i][0] = i)
+    let mut mv = 0u64; // vertical negative deltas
+    let mut score = m;
+    let hibit = 1u64 << (m - 1);
+    for &c in text {
+        let eq = if c.is_ascii() { peq[c as usize] } else { 0 };
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let ph = mv | !(xh | pv);
+        let mh = pv & xh;
+        if ph & hibit != 0 {
+            score += 1;
+        }
+        if mh & hibit != 0 {
+            score -= 1;
+        }
+        let ph = (ph << 1) | 1;
+        let mh = mh << 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+
+    for &c in pattern {
+        peq[c as usize] = 0;
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::levenshtein;
+    use proptest::prelude::*;
+
+    fn myers(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut peq = [0u64; 128];
+        let d = myers_distance_ascii(&a, &b, &mut peq);
+        assert!(peq.iter().all(|&x| x == 0), "peq must be cleared");
+        d
+    }
+
+    #[test]
+    fn agrees_with_dp_on_known_cases() {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("flaw", "lawn"),
+            ("a", ""),
+            ("same", "same"),
+            ("abc", "xyzabcxyz"),
+        ] {
+            assert_eq!(myers(a, b), levenshtein(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn full_64_char_pattern() {
+        let a = "x".repeat(64);
+        let mut b = "x".repeat(63);
+        b.push('y');
+        assert_eq!(myers(&a, &b), 1);
+        assert_eq!(myers(&a, &a), 0);
+        assert_eq!(myers(&a, ""), 64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_two_row_dp(a in "[a-e]{1,64}", b in "[a-e]{0,90}") {
+            prop_assert_eq!(myers(&a, &b), levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn prop_matches_dp_dense_alphabet(a in "[a-zA-Z0-9 .,']{1,40}", b in "[a-zA-Z0-9 .,']{0,60}") {
+            prop_assert_eq!(myers(&a, &b), levenshtein(&a, &b));
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! Zero-allocation prepared similarity signatures and threshold-aware
+//! early-exit matching.
+//!
+//! The string-path [`MatchRule::score`] re-collects `Vec<char>` buffers,
+//! rebuilds token hash sets (with per-token lowercasing) and reconstructs
+//! q-gram multisets on *every* pair — yet an entity in a block of `n`
+//! participates in ~`n` comparisons and recurs across overlapping blocks.
+//! This module amortizes all of that per *entity* instead of per *pair*:
+//!
+//! * [`PreparedEntity`] — per rule term, the signature that term's kernel
+//!   consumes: the char buffer (with any `max_chars` cap pre-applied, plus
+//!   an is-ASCII flag), sorted interned token ids, a sorted q-gram id
+//!   multiset, the raw value for `Exact`, or the Soundex code.
+//! * [`PreparedRule`] — scores/matches two [`PreparedEntity`]s using a
+//!   reusable [`SimScratch`] (DP rows, Myers character-class table, Jaro
+//!   match buffers), so the per-pair path performs **zero heap
+//!   allocation** after scratch buffers reach their high-water mark.
+//! * [`TokenInterner`] — per-task string→id table shared by every entity a
+//!   task prepares; token/q-gram comparisons become sorted-id merges.
+//! * [`PreparedCache`] — a keyed memo (entity id → [`PreparedEntity`])
+//!   bundling the interner, for the "prepare once per reduce task" wiring.
+//!
+//! # Parity contract
+//!
+//! For the same rule and attribute vectors:
+//!
+//! * [`PreparedRule::score`] returns **bit-identical** `f64` values to
+//!   [`MatchRule::score`] — it evaluates terms in the original declaration
+//!   order with the same floating-point operation sequence, and every
+//!   kernel reproduces the string kernel's exact arithmetic (integer
+//!   distance/overlap counts feeding the same normalization expression).
+//! * [`PreparedRule::matches`] returns **identical decisions** to
+//!   [`MatchRule::matches`]. It evaluates terms in descending weight order
+//!   and stops as soon as the accept/reject decision is forced: accept once
+//!   the pessimistic bound (remaining terms scoring 0) clears the
+//!   threshold, reject once the optimistic bound (remaining terms
+//!   scoring 1) cannot reach it. Both bounds carry a `1e-9` guard band
+//!   — orders of
+//!   magnitude above the worst-case float-summation error for any
+//!   realistic term count — and when neither bound forces a decision the
+//!   full score is re-accumulated in declaration order, making the
+//!   boundary comparison bit-identical to the string path.
+//!
+//! Levenshtein terms additionally take a Myers bit-parallel fast path
+//! (single `u64` block) when both capped buffers are ASCII and the shorter
+//! one fits in 64 characters, falling back to the existing two-row DP
+//! otherwise; both produce the same exact integer distance.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::jaro::{jaro_winkler_chars_scratch, JaroScratch};
+use crate::levenshtein::levenshtein_chars_scratch;
+use crate::myers::myers_distance_ascii;
+use crate::phonetic::soundex;
+use crate::rule::{truncate, AttributeSim, MatchRule};
+use crate::tokens::qgrams;
+
+/// Decision guard band for early exit: bounds must clear the threshold by
+/// this relative margin before a decision is taken early. Worst-case float
+/// summation error for a rule of `k` terms is ~`k · 2.2e-16` of the used
+/// weight, so `1e-9` is conservatively safe for any rule with fewer than
+/// ~10^6 terms while still firing on every non-borderline pair.
+const DECISION_MARGIN: f64 = 1e-9;
+
+/// Per-task string→id interner. Entities prepared against the same
+/// interner can compare token/q-gram signatures by id; ids are meaningless
+/// across interners.
+#[derive(Debug, Default)]
+pub struct TokenInterner {
+    ids: HashMap<String, u32>,
+}
+
+impl TokenInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    fn intern(&mut self, s: String) -> u32 {
+        if let Some(&id) = self.ids.get(s.as_str()) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(s, id);
+        id
+    }
+}
+
+/// One rule term's precomputed signature for one entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PreparedAttr {
+    /// Attribute index out of range or value empty — the term is dropped
+    /// for any pair involving this entity (mirroring the string path's
+    /// missing-value renormalization).
+    Missing,
+    /// Char buffer for Levenshtein (cap pre-applied) and Jaro-Winkler.
+    Chars { chars: Vec<char>, ascii: bool },
+    /// Sorted, deduplicated interned lowercase-token ids (Jaccard).
+    Tokens(Vec<u32>),
+    /// Sorted interned q-gram id multiset (q-gram Dice).
+    Grams(Vec<u32>),
+    /// The raw value (byte-equality kernels).
+    Raw(String),
+    /// Four-byte Soundex code.
+    Phonetic([u8; 4]),
+}
+
+/// All of one entity's per-term signatures for one [`PreparedRule`]
+/// (`terms[i]` pairs with `rule.attrs[i]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedEntity {
+    terms: Vec<PreparedAttr>,
+}
+
+impl PreparedEntity {
+    /// Number of rule terms this entity was prepared for.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// Reusable kernel buffers: everything the per-pair path needs beyond the
+/// two [`PreparedEntity`]s. Buffers grow to a high-water mark and are
+/// reused, so a warm scratch makes pair comparison allocation-free.
+#[derive(Debug)]
+struct KernelScratch {
+    /// Two-row DP buffer for the Levenshtein fallback.
+    row: Vec<usize>,
+    /// Myers character-class table (filled and re-cleared per call by
+    /// touching only the pattern's characters).
+    peq: Box<[u64; 128]>,
+    /// Jaro match/transposition buffers.
+    jaro: JaroScratch,
+}
+
+impl Default for KernelScratch {
+    fn default() -> Self {
+        Self {
+            row: Vec::new(),
+            peq: Box::new([0u64; 128]),
+            jaro: JaroScratch::default(),
+        }
+    }
+}
+
+/// Reusable per-task scratch for [`PreparedRule::score`] /
+/// [`PreparedRule::matches`]. Create one per reduce task (or worker) and
+/// pass it to every pair comparison.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    kernels: KernelScratch,
+    /// Per-term usability of the current pair (both sides present).
+    usable: Vec<bool>,
+    /// Per-term similarity cache for the early-exit fallback recompute.
+    sims: Vec<f64>,
+}
+
+impl SimScratch {
+    /// Fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A [`MatchRule`] compiled for prepared evaluation: signatures are built
+/// per entity via [`PreparedRule::prepare`], pairs are scored via
+/// [`PreparedRule::score`] / [`PreparedRule::matches`].
+#[derive(Debug, Clone)]
+pub struct PreparedRule {
+    rule: MatchRule,
+    /// Term indices in descending weight order (stable on ties) — the
+    /// evaluation order that forces early-exit decisions soonest.
+    order: Vec<u32>,
+}
+
+impl PreparedRule {
+    /// Compile a rule for prepared evaluation.
+    pub fn new(rule: MatchRule) -> Self {
+        let mut order: Vec<u32> = (0..rule.attrs.len() as u32).collect();
+        order.sort_by(|&x, &y| {
+            let (wx, wy) = (rule.attrs[x as usize].weight, rule.attrs[y as usize].weight);
+            wy.partial_cmp(&wx)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.cmp(&y))
+        });
+        Self { rule, order }
+    }
+
+    /// The underlying rule.
+    pub fn rule(&self) -> &MatchRule {
+        &self.rule
+    }
+
+    /// Build the per-term signatures of one entity. All allocation of the
+    /// prepared path happens here (and in the interner), once per entity
+    /// per task — never per pair.
+    pub fn prepare(&self, attrs: &[String], interner: &mut TokenInterner) -> PreparedEntity {
+        let terms = self
+            .rule
+            .attrs
+            .iter()
+            .map(|term| {
+                let Some(v) = attrs.get(term.attr) else {
+                    return PreparedAttr::Missing;
+                };
+                if v.is_empty() {
+                    return PreparedAttr::Missing;
+                }
+                match &term.sim {
+                    AttributeSim::Levenshtein { max_chars } => {
+                        let capped = match max_chars {
+                            Some(cap) => truncate(v, *cap),
+                            None => v.as_str(),
+                        };
+                        PreparedAttr::Chars {
+                            chars: capped.chars().collect(),
+                            ascii: capped.is_ascii(),
+                        }
+                    }
+                    AttributeSim::JaroWinkler => PreparedAttr::Chars {
+                        chars: v.chars().collect(),
+                        ascii: v.is_ascii(),
+                    },
+                    AttributeSim::JaccardTokens => {
+                        let mut ids: Vec<u32> = v
+                            .split_whitespace()
+                            .map(|t| interner.intern(t.to_lowercase()))
+                            .collect();
+                        ids.sort_unstable();
+                        ids.dedup();
+                        PreparedAttr::Tokens(ids)
+                    }
+                    AttributeSim::QGram { q } => {
+                        let mut ids: Vec<u32> = qgrams(v, *q)
+                            .into_iter()
+                            .map(|g| interner.intern(g))
+                            .collect();
+                        ids.sort_unstable();
+                        PreparedAttr::Grams(ids)
+                    }
+                    AttributeSim::Exact => PreparedAttr::Raw(v.clone()),
+                    AttributeSim::Soundex => {
+                        let code = soundex(v);
+                        let b = code.as_bytes();
+                        PreparedAttr::Phonetic([b[0], b[1], b[2], b[3]])
+                    }
+                }
+            })
+            .collect();
+        PreparedEntity { terms }
+    }
+
+    /// Normalized weighted similarity — **bit-identical** to
+    /// [`MatchRule::score`] on the same attribute vectors: terms are
+    /// accumulated in declaration order with the same operation sequence.
+    pub fn score(&self, a: &PreparedEntity, b: &PreparedEntity, s: &mut SimScratch) -> f64 {
+        debug_assert_eq!(a.terms.len(), self.rule.attrs.len());
+        debug_assert_eq!(b.terms.len(), self.rule.attrs.len());
+        let mut used_weight = 0.0;
+        let mut score = 0.0;
+        for (i, term) in self.rule.attrs.iter().enumerate() {
+            let (ta, tb) = (&a.terms[i], &b.terms[i]);
+            if matches!(ta, PreparedAttr::Missing) || matches!(tb, PreparedAttr::Missing) {
+                continue;
+            }
+            used_weight += term.weight;
+            score += term.weight * term_score(&term.sim, ta, tb, &mut s.kernels);
+        }
+        if used_weight == 0.0 {
+            0.0
+        } else {
+            score / used_weight
+        }
+    }
+
+    /// The co-reference decision — **identical** to [`MatchRule::matches`]
+    /// but threshold-aware: terms are evaluated in descending weight order
+    /// and evaluation stops as soon as the accept/reject decision is
+    /// forced (see the module docs for the exactness argument).
+    pub fn matches(&self, a: &PreparedEntity, b: &PreparedEntity, s: &mut SimScratch) -> bool {
+        let n = self.rule.attrs.len();
+        debug_assert_eq!(a.terms.len(), n);
+        debug_assert_eq!(b.terms.len(), n);
+        let threshold = self.rule.threshold;
+
+        s.usable.clear();
+        let mut used_weight = 0.0;
+        for i in 0..n {
+            let usable = !matches!(a.terms[i], PreparedAttr::Missing)
+                && !matches!(b.terms[i], PreparedAttr::Missing);
+            s.usable.push(usable);
+            if usable {
+                used_weight += self.rule.attrs[i].weight;
+            }
+        }
+        if used_weight == 0.0 {
+            return 0.0 >= threshold;
+        }
+
+        s.sims.clear();
+        s.sims.resize(n, 0.0);
+        let mut acc = 0.0f64;
+        for (pos, &oi) in self.order.iter().enumerate() {
+            let i = oi as usize;
+            if !s.usable[i] {
+                continue;
+            }
+            let term = &self.rule.attrs[i];
+            let sim = term_score(&term.sim, &a.terms[i], &b.terms[i], &mut s.kernels);
+            s.sims[i] = sim;
+            acc += term.weight * sim;
+
+            // Pessimistic bound: every remaining term scores 0. Monotone
+            // float rounding makes the full accumulation at least `acc`,
+            // so clearing the threshold now forces ACCEPT.
+            if acc / used_weight >= threshold + DECISION_MARGIN {
+                return true;
+            }
+            // Optimistic bound: every remaining term scores 1, added in
+            // the same order the real accumulation would add them.
+            let mut optimistic = acc;
+            for &oj in &self.order[pos + 1..] {
+                if s.usable[oj as usize] {
+                    optimistic += self.rule.attrs[oj as usize].weight;
+                }
+            }
+            if optimistic / used_weight < threshold - DECISION_MARGIN {
+                return false;
+            }
+        }
+
+        // Neither bound fired: borderline pair. Re-accumulate the cached
+        // similarities in declaration order — the string path's exact
+        // float sequence — so the final comparison is bit-identical.
+        let mut uw = 0.0;
+        let mut sc = 0.0;
+        for (i, term) in self.rule.attrs.iter().enumerate() {
+            if s.usable[i] {
+                uw += term.weight;
+                sc += term.weight * s.sims[i];
+            }
+        }
+        sc / uw >= threshold
+    }
+}
+
+/// Count of common elements between two ascending id sequences; on
+/// multisets (duplicates allowed) this is the multiset-intersection size.
+fn sorted_intersection(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// One term's kernel over prepared signatures — each arm reproduces the
+/// corresponding string kernel's exact arithmetic.
+fn term_score(
+    sim: &AttributeSim,
+    a: &PreparedAttr,
+    b: &PreparedAttr,
+    s: &mut KernelScratch,
+) -> f64 {
+    match (sim, a, b) {
+        (
+            AttributeSim::Levenshtein { .. },
+            PreparedAttr::Chars {
+                chars: ca,
+                ascii: aa,
+            },
+            PreparedAttr::Chars {
+                chars: cb,
+                ascii: ab,
+            },
+        ) => {
+            let max_len = ca.len().max(cb.len());
+            if max_len == 0 {
+                return 1.0;
+            }
+            let (short, long) = if ca.len() <= cb.len() {
+                (ca, cb)
+            } else {
+                (cb, ca)
+            };
+            let d = if short.is_empty() {
+                long.len()
+            } else if *aa && *ab && short.len() <= 64 {
+                myers_distance_ascii(short, long, &mut s.peq)
+            } else {
+                levenshtein_chars_scratch(ca, cb, &mut s.row)
+            };
+            1.0 - d as f64 / max_len as f64
+        }
+        (
+            AttributeSim::JaroWinkler,
+            PreparedAttr::Chars { chars: ca, .. },
+            PreparedAttr::Chars { chars: cb, .. },
+        ) => jaro_winkler_chars_scratch(ca, cb, &mut s.jaro),
+        (AttributeSim::JaccardTokens, PreparedAttr::Tokens(ta), PreparedAttr::Tokens(tb)) => {
+            if ta.is_empty() && tb.is_empty() {
+                return 1.0;
+            }
+            let inter = sorted_intersection(ta, tb);
+            let union = ta.len() + tb.len() - inter;
+            inter as f64 / union as f64
+        }
+        (AttributeSim::QGram { .. }, PreparedAttr::Grams(ga), PreparedAttr::Grams(gb)) => {
+            let inter = sorted_intersection(ga, gb);
+            2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+        }
+        (AttributeSim::Exact, PreparedAttr::Raw(va), PreparedAttr::Raw(vb)) => f64::from(va == vb),
+        (AttributeSim::Soundex, PreparedAttr::Phonetic(pa), PreparedAttr::Phonetic(pb)) => {
+            f64::from(pa == pb)
+        }
+        _ => unreachable!("entity prepared for a different rule"),
+    }
+}
+
+/// Per-task memo of prepared entities keyed by an entity id, bundling the
+/// task's [`TokenInterner`]. The "prepare once per reduce task" wiring:
+/// `ensure` each side of a pair (a no-op after the first block containing
+/// the entity), then score through `get`.
+#[derive(Debug, Default)]
+pub struct PreparedCache<K> {
+    interner: TokenInterner,
+    map: HashMap<K, PreparedEntity>,
+}
+
+impl<K: Eq + Hash + Clone> PreparedCache<K> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            interner: TokenInterner::new(),
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of entities prepared so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entity has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Prepare `attrs` under `key` unless already cached.
+    pub fn ensure(&mut self, rule: &PreparedRule, key: K, attrs: &[String]) {
+        if !self.map.contains_key(&key) {
+            let prepared = rule.prepare(attrs, &mut self.interner);
+            self.map.insert(key, prepared);
+        }
+    }
+
+    /// The prepared signatures of a cached entity.
+    ///
+    /// # Panics
+    /// Panics if `key` was never [`ensure`](Self::ensure)d.
+    pub fn get(&self, key: &K) -> &PreparedEntity {
+        self.map.get(key).expect("entity not prepared")
+    }
+
+    /// Convenience: ensure both sides and evaluate the match decision.
+    pub fn matches_pair(
+        &mut self,
+        rule: &PreparedRule,
+        scratch: &mut SimScratch,
+        a: (K, &[String]),
+        b: (K, &[String]),
+    ) -> bool {
+        self.ensure(rule, a.0.clone(), a.1);
+        self.ensure(rule, b.0.clone(), b.1);
+        rule.matches(
+            self.map.get(&a.0).unwrap(),
+            self.map.get(&b.0).unwrap(),
+            scratch,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::WeightedAttr;
+
+    fn citeseer_rule() -> MatchRule {
+        MatchRule::new(
+            vec![
+                WeightedAttr::new(0, 0.55, AttributeSim::Levenshtein { max_chars: None }),
+                WeightedAttr::new(
+                    1,
+                    0.25,
+                    AttributeSim::Levenshtein {
+                        max_chars: Some(350),
+                    },
+                ),
+                WeightedAttr::new(2, 0.20, AttributeSim::Levenshtein { max_chars: None }),
+            ],
+            0.82,
+        )
+    }
+
+    fn prep(rule: &PreparedRule, interner: &mut TokenInterner, attrs: &[&str]) -> PreparedEntity {
+        let owned: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
+        rule.prepare(&owned, interner)
+    }
+
+    #[test]
+    fn order_is_descending_weight_stable() {
+        let rule = MatchRule::new(
+            vec![
+                WeightedAttr::new(0, 0.2, AttributeSim::Exact),
+                WeightedAttr::new(1, 0.5, AttributeSim::Exact),
+                WeightedAttr::new(2, 0.2, AttributeSim::Exact),
+                WeightedAttr::new(3, 0.1, AttributeSim::Exact),
+            ],
+            0.5,
+        );
+        let pr = PreparedRule::new(rule);
+        assert_eq!(pr.order, vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn prepared_score_bit_identical_on_citeseer_rule() {
+        let rule = citeseer_rule();
+        let pr = PreparedRule::new(rule.clone());
+        let mut interner = TokenInterner::new();
+        let mut scratch = SimScratch::new();
+        let cases = [
+            (
+                vec!["progressive entity resolution", "some abstract", "ICDE"],
+                vec!["progresive entity resolution", "some abstract", "ICDE"],
+            ),
+            (
+                vec!["a completely different title", "", "VLDB"],
+                vec!["progressive entity resolution", "some abstract", ""],
+            ),
+            (vec!["", "", ""], vec!["", "", ""]),
+        ];
+        for (a, b) in cases {
+            let sa: Vec<String> = a.iter().map(|s| s.to_string()).collect();
+            let sb: Vec<String> = b.iter().map(|s| s.to_string()).collect();
+            let pa = pr.prepare(&sa, &mut interner);
+            let pb = pr.prepare(&sb, &mut interner);
+            assert_eq!(
+                pr.score(&pa, &pb, &mut scratch).to_bits(),
+                rule.score(&sa, &sb).to_bits()
+            );
+            assert_eq!(pr.matches(&pa, &pb, &mut scratch), rule.matches(&sa, &sb));
+        }
+    }
+
+    #[test]
+    fn early_exit_decisions_match_string_path() {
+        let rule = citeseer_rule();
+        let pr = PreparedRule::new(rule.clone());
+        let mut interner = TokenInterner::new();
+        let mut scratch = SimScratch::new();
+        // A pair whose first (heaviest) term alone forces the reject.
+        let a = prep(
+            &pr,
+            &mut interner,
+            &["totally unrelated words here", "x", "y"],
+        );
+        let b = prep(
+            &pr,
+            &mut interner,
+            &["progressive entity resolution", "x", "y"],
+        );
+        let sa = vec![
+            "totally unrelated words here".to_string(),
+            "x".to_string(),
+            "y".to_string(),
+        ];
+        let sb = vec![
+            "progressive entity resolution".to_string(),
+            "x".to_string(),
+            "y".to_string(),
+        ];
+        assert_eq!(pr.matches(&a, &b, &mut scratch), rule.matches(&sa, &sb));
+    }
+
+    #[test]
+    fn myers_and_fallback_pick_same_distances() {
+        // >64-char ASCII strings must hit the DP fallback and still agree.
+        let long_a =
+            "the quick brown fox jumps over the lazy dog again and again forever".repeat(2);
+        let long_b = long_a.replace("quick", "quik");
+        let rule = MatchRule::new(
+            vec![WeightedAttr::new(
+                0,
+                1.0,
+                AttributeSim::Levenshtein { max_chars: None },
+            )],
+            0.5,
+        );
+        let pr = PreparedRule::new(rule.clone());
+        let mut interner = TokenInterner::new();
+        let mut scratch = SimScratch::new();
+        let sa = vec![long_a.clone()];
+        let sb = vec![long_b.clone()];
+        let pa = pr.prepare(&sa, &mut interner);
+        let pb = pr.prepare(&sb, &mut interner);
+        assert_eq!(
+            pr.score(&pa, &pb, &mut scratch).to_bits(),
+            rule.score(&sa, &sb).to_bits()
+        );
+        // Unicode forces the fallback too.
+        let sa = vec!["café au lait".to_string()];
+        let sb = vec!["cafe au lait".to_string()];
+        let pa = pr.prepare(&sa, &mut interner);
+        let pb = pr.prepare(&sb, &mut interner);
+        assert_eq!(
+            pr.score(&pa, &pb, &mut scratch).to_bits(),
+            rule.score(&sa, &sb).to_bits()
+        );
+    }
+
+    #[test]
+    fn cache_prepares_each_entity_once() {
+        let pr = PreparedRule::new(citeseer_rule());
+        let mut cache: PreparedCache<u32> = PreparedCache::new();
+        let mut scratch = SimScratch::new();
+        let a = vec!["title one".to_string(), "abs".to_string(), "v".to_string()];
+        let b = vec!["title two".to_string(), "abs".to_string(), "v".to_string()];
+        for _ in 0..3 {
+            cache.matches_pair(&pr, &mut scratch, (1, &a), (2, &b));
+        }
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -19,7 +19,7 @@ pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
 
 /// Positional q-grams of `s` (as owned char windows). A string shorter than
 /// `q` yields itself as its single gram.
-fn qgrams(s: &str, q: usize) -> Vec<String> {
+pub(crate) fn qgrams(s: &str, q: usize) -> Vec<String> {
     let chars: Vec<char> = s.chars().collect();
     if chars.len() < q {
         return vec![chars.iter().collect()];

@@ -1,0 +1,225 @@
+//! Property-based parity suite: the prepared path must reproduce the
+//! string path exactly — bit-identical `score` values and identical
+//! `matches` decisions — across all six [`AttributeSim`] kernels,
+//! including Unicode inputs and strings past the 64-char Myers limit
+//! (which exercise the DP fallback).
+
+use proptest::prelude::*;
+
+use pper_simil::{AttributeSim, MatchRule, PreparedRule, SimScratch, TokenInterner, WeightedAttr};
+
+/// One rule exercising every kernel, with a distinct weight per term and a
+/// Levenshtein cap small enough for generated strings to exceed it.
+fn six_kernel_rule(threshold: f64) -> MatchRule {
+    MatchRule::new(
+        vec![
+            WeightedAttr::new(
+                0,
+                0.30,
+                AttributeSim::Levenshtein {
+                    max_chars: Some(24),
+                },
+            ),
+            WeightedAttr::new(1, 0.20, AttributeSim::JaroWinkler),
+            WeightedAttr::new(2, 0.15, AttributeSim::JaccardTokens),
+            WeightedAttr::new(3, 0.15, AttributeSim::QGram { q: 2 }),
+            WeightedAttr::new(4, 0.10, AttributeSim::Exact),
+            WeightedAttr::new(5, 0.10, AttributeSim::Soundex),
+        ],
+        threshold,
+    )
+}
+
+/// Assert the full parity contract on one pair of attribute vectors.
+fn assert_parity(rule: &MatchRule, a: &[String], b: &[String]) {
+    let prepared = PreparedRule::new(rule.clone());
+    let mut interner = TokenInterner::new();
+    let mut scratch = SimScratch::new();
+    let pa = prepared.prepare(a, &mut interner);
+    let pb = prepared.prepare(b, &mut interner);
+
+    let string_score = rule.score(a, b);
+    let prep_score = prepared.score(&pa, &pb, &mut scratch);
+    assert_eq!(
+        prep_score.to_bits(),
+        string_score.to_bits(),
+        "score parity: prepared {prep_score} vs string {string_score} on {a:?} / {b:?}"
+    );
+    assert_eq!(
+        prepared.matches(&pa, &pb, &mut scratch),
+        rule.matches(a, b),
+        "matches parity on {a:?} / {b:?} (score {string_score}, threshold {})",
+        rule.threshold
+    );
+    // Scratch reuse must not change results: run the same pair again.
+    assert_eq!(
+        prepared.score(&pa, &pb, &mut scratch).to_bits(),
+        string_score.to_bits(),
+        "score parity must survive scratch reuse"
+    );
+}
+
+proptest! {
+    // ASCII vectors over all six kernels; token attribute gets spaces,
+    // threshold sweeps the full range so both decisions occur.
+    #[test]
+    fn ascii_vectors_all_kernels(
+        a0 in "[a-e ]{0,30}", b0 in "[a-e ]{0,30}",
+        a1 in "[a-f]{0,12}", b1 in "[a-f]{0,12}",
+        a2 in "[a-c ]{0,20}", b2 in "[a-c ]{0,20}",
+        a3 in "[a-d]{0,16}", b3 in "[a-d]{0,16}",
+        a4 in "[a-b]{0,3}", b4 in "[a-b]{0,3}",
+        a5 in "[a-zA-Z]{0,10}", b5 in "[a-zA-Z]{0,10}",
+        threshold in 0.0f64..1.0,
+    ) {
+        let rule = six_kernel_rule(threshold);
+        let a = vec![a0, a1, a2, a3, a4, a5];
+        let b = vec![b0, b1, b2, b3, b4, b5];
+        assert_parity(&rule, &a, &b);
+    }
+
+    // Unicode inputs (the `.` alphabet includes multi-byte scalars) force
+    // the Levenshtein DP fallback and exercise char-boundary truncation.
+    #[test]
+    fn unicode_vectors_all_kernels(
+        a0 in ".{0,30}", b0 in ".{0,30}",
+        a1 in ".{0,12}", b1 in ".{0,12}",
+        a2 in ".{0,16}", b2 in ".{0,16}",
+        a3 in ".{0,12}", b3 in ".{0,12}",
+        a4 in ".{0,3}", b4 in ".{0,3}",
+        a5 in ".{0,8}", b5 in ".{0,8}",
+        threshold in 0.0f64..1.0,
+    ) {
+        let rule = six_kernel_rule(threshold);
+        let a = vec![a0, a1, a2, a3, a4, a5];
+        let b = vec![b0, b1, b2, b3, b4, b5];
+        assert_parity(&rule, &a, &b);
+    }
+
+    // Long ASCII strings (> 64 chars) on an uncapped Levenshtein term hit
+    // the DP fallback; near the boundary both sides of the 64 limit occur.
+    #[test]
+    fn myers_fallback_boundary(
+        a in "[a-d]{50,90}",
+        b in "[a-d]{50,90}",
+        threshold in 0.0f64..1.0,
+    ) {
+        let rule = MatchRule::new(
+            vec![WeightedAttr::new(0, 1.0, AttributeSim::Levenshtein { max_chars: None })],
+            threshold,
+        );
+        assert_parity(&rule, &[a], &[b]);
+    }
+
+    // Missing-value renormalization: empty strings and short vectors drop
+    // terms identically on both paths.
+    #[test]
+    fn missing_values_renormalize_identically(
+        a0 in "[a-c]{0,8}", b0 in "[a-c]{0,8}",
+        a1 in "[a-c]{0,8}",
+        len_a in 0usize..=6, len_b in 0usize..=6,
+        threshold in 0.0f64..1.0,
+    ) {
+        let rule = six_kernel_rule(threshold);
+        let mut a = vec![a0, a1.clone(), String::new(), a1, String::new(), String::new()];
+        let mut b = vec![b0.clone(), String::new(), b0.clone(), String::new(), b0, String::new()];
+        a.truncate(len_a);
+        b.truncate(len_b);
+        assert_parity(&rule, &a, &b);
+    }
+
+    // The paper's CiteSeerX rule at its real threshold, on strings shaped
+    // like near-duplicates — the early-exit hot case.
+    #[test]
+    fn citeseer_shaped_pairs(
+        title in "[a-e ]{5,40}",
+        abs in "[a-e ]{0,80}",
+        venue in "[a-c]{0,6}",
+        typo in "[a-e]{1,3}",
+    ) {
+        let rule = MatchRule::new(
+            vec![
+                WeightedAttr::new(0, 0.55, AttributeSim::Levenshtein { max_chars: None }),
+                WeightedAttr::new(1, 0.25, AttributeSim::Levenshtein { max_chars: Some(350) }),
+                WeightedAttr::new(2, 0.20, AttributeSim::Levenshtein { max_chars: None }),
+            ],
+            0.82,
+        );
+        let a = vec![title.clone(), abs.clone(), venue.clone()];
+        // A near-duplicate: the title with a small corruption appended.
+        let near = vec![format!("{title}{typo}"), abs, venue];
+        assert_parity(&rule, &a, &near);
+        assert_parity(&rule, &a, &a);
+        // And a far pair (reversed title) for the early-reject branch.
+        let far = vec![
+            title.chars().rev().collect::<String>(),
+            String::new(),
+            String::new(),
+        ];
+        assert_parity(&rule, &a, &far);
+    }
+}
+
+/// Interner sharing across many entities must not perturb results: prepare
+/// a batch against one interner and check each pair.
+#[test]
+fn shared_interner_batch_parity() {
+    let rule = six_kernel_rule(0.5);
+    let prepared = PreparedRule::new(rule.clone());
+    let mut interner = TokenInterner::new();
+    let mut scratch = SimScratch::new();
+    let vectors: Vec<Vec<String>> = [
+        ["john smith", "jon", "a b c", "abcd", "x", "Robert"],
+        ["john smyth", "john", "c b a", "abdc", "x", "Rupert"],
+        ["completely different", "zzz", "d e f", "qqqq", "y", "Jones"],
+        ["", "", "", "", "", ""],
+    ]
+    .iter()
+    .map(|row| row.iter().map(|s| s.to_string()).collect())
+    .collect();
+    let prepped: Vec<_> = vectors
+        .iter()
+        .map(|v| prepared.prepare(v, &mut interner))
+        .collect();
+    for i in 0..vectors.len() {
+        for j in 0..vectors.len() {
+            assert_eq!(
+                prepared
+                    .score(&prepped[i], &prepped[j], &mut scratch)
+                    .to_bits(),
+                rule.score(&vectors[i], &vectors[j]).to_bits(),
+                "pair ({i},{j})"
+            );
+            assert_eq!(
+                prepared.matches(&prepped[i], &prepped[j], &mut scratch),
+                rule.matches(&vectors[i], &vectors[j]),
+                "pair ({i},{j})"
+            );
+        }
+    }
+}
+
+/// Thresholds sitting exactly on reachable score values: the borderline
+/// recompute path must agree with the string comparison.
+#[test]
+fn exact_threshold_boundaries() {
+    // Two equal-weight Exact terms → reachable scores {0, 0.5, 1}.
+    for threshold in [0.0, 0.5, 1.0] {
+        let rule = MatchRule::new(
+            vec![
+                WeightedAttr::new(0, 0.5, AttributeSim::Exact),
+                WeightedAttr::new(1, 0.5, AttributeSim::Exact),
+            ],
+            threshold,
+        );
+        for (a, b) in [
+            (["x", "y"], ["x", "y"]),
+            (["x", "y"], ["x", "z"]),
+            (["x", "y"], ["w", "z"]),
+        ] {
+            let a: Vec<String> = a.iter().map(|s| s.to_string()).collect();
+            let b: Vec<String> = b.iter().map(|s| s.to_string()).collect();
+            assert_parity(&rule, &a, &b);
+        }
+    }
+}
