@@ -1,0 +1,186 @@
+//! Fault-tolerance overhead: what do task re-execution, speculative backup
+//! attempts, and checkpointed resume cost on the virtual clock?
+//!
+//! Runs the full progressive pipeline clean and under 1 and 3 injected
+//! reduce/map failures (mixed flavours: discarded attempts, attempts killed
+//! at start, attempts panicking mid-flight), once more with LATE-style
+//! speculation enabled, and finally a kill + checkpointed-resume cycle. The
+//! duplicate set is asserted invariant in every scenario; the figure
+//! reports the recall-vs-cost retardation and the wasted-cost accounting.
+//!
+//! ```sh
+//! cargo run --release -p pper-bench --bin bench_faults -- --entities 12000
+//! ```
+
+use pper_bench::ExpOptions;
+use pper_datagen::PubGen;
+use pper_er::{ErConfig, ErRunResult, ProgressiveEr};
+use pper_mapreduce::{FaultPlan, SpeculationConfig, TaskKind};
+use std::io::Write;
+
+#[derive(Debug, serde::Serialize)]
+struct ScenarioReport {
+    scenario: &'static str,
+    total_cost: f64,
+    cost_overhead_pct: f64,
+    final_recall: f64,
+    duplicates: usize,
+    task_retries: u64,
+    wasted_virtual_cost: u64,
+    speculative_launched: u64,
+    speculative_wins: u64,
+    speculative_wasted: u64,
+    resume_replay_cost: u64,
+    time_to_half_recall: Option<f64>,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct FaultsFigure {
+    name: String,
+    caption: String,
+    entities: usize,
+    seed: u64,
+    machines: usize,
+    crash_at: f64,
+    scenarios: Vec<ScenarioReport>,
+}
+
+fn report(scenario: &'static str, run: &ErRunResult, clean_cost: f64) -> ScenarioReport {
+    ScenarioReport {
+        scenario,
+        total_cost: run.total_cost,
+        cost_overhead_pct: (run.total_cost / clean_cost - 1.0) * 100.0,
+        final_recall: run.curve.final_recall(),
+        duplicates: run.duplicates.len(),
+        task_retries: run.counters.get("task_retries"),
+        wasted_virtual_cost: run.counters.get("wasted_virtual_cost"),
+        speculative_launched: run.counters.get("speculative_launched"),
+        speculative_wins: run.counters.get("speculative_wins"),
+        speculative_wasted: run.counters.get("speculative_wasted"),
+        resume_replay_cost: run.counters.get("resume_replay_cost"),
+        time_to_half_recall: run.curve.time_to_recall(0.5),
+    }
+}
+
+fn fail1() -> FaultPlan {
+    FaultPlan::fail_reduce(0, 1)
+}
+
+fn fail3() -> FaultPlan {
+    FaultPlan::fail_reduce(0, 1)
+        .with_crash(TaskKind::Reduce, 1, 1)
+        .with_abort(TaskKind::Map, 0, 1, 50.0)
+}
+
+/// One reduce task loses its first three attempts nearly at completion —
+/// a ~4x straggler, the case LATE speculation exists for.
+fn straggler() -> FaultPlan {
+    let mut plan = FaultPlan::fail_reduce(0, 3);
+    plan.failure_fraction = 0.9;
+    plan
+}
+
+fn main() {
+    let opts = ExpOptions::from_args(12_000);
+    let entities = if opts.quick { 1_200 } else { opts.entities };
+    let machines = if opts.quick { 2 } else { 5 };
+
+    eprintln!("generating {entities} entities (seed {})…", opts.seed);
+    let ds = PubGen::new(entities, opts.seed).generate();
+    let base = ErConfig::citeseer(machines);
+
+    eprintln!("clean run…");
+    let clean = ProgressiveEr::new(base.clone()).run(&ds);
+    let clean_cost = clean.total_cost;
+
+    let mut scenarios = vec![report("clean", &clean, clean_cost)];
+
+    for (name, plan) in [
+        ("fail-1", fail1()),
+        ("fail-3", fail3()),
+        ("straggler-3x", straggler()),
+    ] {
+        eprintln!("{name}…");
+        let mut config = base.clone();
+        config.faults = Some(plan);
+        let run = ProgressiveEr::new(config).run(&ds);
+        assert_eq!(
+            run.duplicates, clean.duplicates,
+            "{name}: injected failures must not change the duplicate set"
+        );
+        scenarios.push(report(name, &run, clean_cost));
+    }
+
+    eprintln!("straggler-3x + speculation…");
+    // Job2's reduce costs are naturally uneven (LPT over whole trees), so
+    // use a LATE threshold tight enough to catch the injected straggler.
+    let mut config = base.clone().with_speculation(SpeculationConfig {
+        slowdown_threshold: 1.2,
+    });
+    config.faults = Some(straggler());
+    let spec_run = ProgressiveEr::new(config).run(&ds);
+    assert_eq!(
+        spec_run.duplicates, clean.duplicates,
+        "speculation must not change the duplicate set"
+    );
+    scenarios.push(report("straggler+speculation", &spec_run, clean_cost));
+
+    // Kill the resolution mid-flight, resume from the checkpoint.
+    let crash_at = if opts.quick { 1_000.0 } else { 4_000.0 };
+    eprintln!("crash at {crash_at} + resume…");
+    let er = ProgressiveEr::new(base);
+    let checkpoint = er.run_to_crash(&ds, crash_at).expect("crash run");
+    eprintln!(
+        "  checkpoint: {} blocks done, {} remaining, {} duplicates banked",
+        checkpoint.blocks_done(),
+        checkpoint.blocks_remaining(),
+        checkpoint.duplicates_found()
+    );
+    let resumed = er.resume(&ds, &checkpoint).expect("resume run");
+    assert_eq!(
+        resumed.duplicates, clean.duplicates,
+        "resume must reproduce the duplicate set exactly"
+    );
+    assert_eq!(
+        resumed.total_cost.to_bits(),
+        clean.total_cost.to_bits(),
+        "resume must land on the identical virtual completion time"
+    );
+    scenarios.push(report("crash+resume", &resumed, clean_cost));
+
+    println!(
+        "{:<20} {:>12} {:>9} {:>7} {:>8} {:>10} {:>8} {:>10}",
+        "scenario", "total cost", "ovhd %", "recall", "retries", "wasted", "spec", "replay"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<20} {:>12.0} {:>9.2} {:>7.3} {:>8} {:>10} {:>8} {:>10}",
+            s.scenario,
+            s.total_cost,
+            s.cost_overhead_pct,
+            s.final_recall,
+            s.task_retries,
+            s.wasted_virtual_cost,
+            s.speculative_wins,
+            s.resume_replay_cost
+        );
+    }
+
+    let figure = FaultsFigure {
+        name: "bench-faults".into(),
+        caption: format!(
+            "fault-tolerance overhead: retries, speculation, checkpointed resume, μ = {machines}"
+        ),
+        entities,
+        seed: opts.seed,
+        machines,
+        crash_at,
+        scenarios,
+    };
+    std::fs::create_dir_all(&opts.out_dir).expect("create experiment output dir");
+    let path = opts.out_dir.join("BENCH_faults.json");
+    let mut f = std::fs::File::create(&path).expect("create figure json");
+    serde_json::to_writer_pretty(&mut f, &figure).expect("serialize figure");
+    writeln!(f).ok();
+    eprintln!("wrote {}", path.display());
+}

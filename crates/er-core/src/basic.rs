@@ -244,6 +244,8 @@ impl BasicApproach {
         cfg.cost_model = self.er.cost_model.clone();
         cfg.worker_threads = self.er.worker_threads;
         cfg.shuffle_balance = self.er.shuffle_balance;
+        cfg.faults = self.er.faults.clone();
+        cfg.speculation = self.er.speculation;
 
         let mapper = BasicMapper {
             families: &self.er.families,

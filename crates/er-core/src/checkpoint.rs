@@ -1,0 +1,249 @@
+//! Checkpointed progressive resume for the resolution job.
+//!
+//! Progressive ER's defining promise is that results survive early
+//! termination: duplicates emitted before a crash are not lost, and a
+//! resumed run must pick up exactly where the killed one stopped. A
+//! [`Checkpoint`] captures everything the second job needs to do that:
+//!
+//! * the generated [`Schedule`] (so resume never re-runs the first job or
+//!   schedule generation — only the first job's virtual cost is kept, to
+//!   splice timelines);
+//! * per reduce task, a [`TaskCheckpoint`] with the *resolved-block
+//!   watermark* (`blocks_done` into `Schedule::block_order`), the task's
+//!   virtual clock at that watermark, the per-tree resolved-pair sets
+//!   (parents must still skip work their checkpointed children already
+//!   did), and the duplicates found so far with their task-local costs.
+//!
+//! Checkpoints are cut at block granularity: a crash mid-block rolls the
+//! partial block back (its resolved-pair insertions and duplicates are
+//! discarded), so the resumed run re-executes that block from the
+//! checkpointed clock and — execution being deterministic — lands on
+//! exactly the virtual times the uninterrupted run would have produced.
+//! The e2e contract, proven by `tests/resume_checkpoint.rs`: crash + resume
+//! yields a bit-identical duplicate set and recall curve.
+//!
+//! The format is plain serde (JSON via `serde_json`), mirroring how a real
+//! deployment would persist it next to the incremental result files.
+
+use pper_schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+use pper_mapreduce::MrError;
+
+/// Resume state of one reduce task of the resolution job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskCheckpoint {
+    /// Reduce task index.
+    pub task: usize,
+    /// Watermark: blocks `0..blocks_done` of
+    /// `Schedule::block_order[task]` are fully resolved.
+    pub blocks_done: usize,
+    /// The task's virtual clock right after the last completed block
+    /// (includes startup, shuffle, and all per-block charges up to the
+    /// watermark). Resume continues the clock from exactly this value.
+    pub clock: f64,
+    /// Per tree (by tree id): pairs already compared in this task,
+    /// normalized `a < b` and sorted. Parent blocks resolved after resume
+    /// must still skip them.
+    pub resolved: Vec<(usize, Vec<(u32, u32)>)>,
+    /// Duplicates found before the crash as `(task-local cost, a, b)`,
+    /// in discovery order. Replayed verbatim on resume so the global
+    /// timeline and segment files come out identical.
+    pub duplicates: Vec<(f64, u32, u32)>,
+}
+
+/// Everything needed to resume a killed resolution job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The generated progressive schedule the killed run was executing.
+    pub schedule: Schedule,
+    /// Virtual completion time of the first job (statistics gathering);
+    /// the resumed job-2 timeline is offset by this, exactly like an
+    /// uninterrupted pipeline run.
+    pub job1_cost: f64,
+    /// The task-local virtual cost at which each reduce task was killed.
+    pub crash_at: f64,
+    /// Machine count μ of the killed run (resume must match it — the wave
+    /// layout determines the global timeline).
+    pub machines: usize,
+    /// One entry per reduce task, indexed by task id.
+    pub tasks: Vec<TaskCheckpoint>,
+}
+
+impl Checkpoint {
+    /// Validate internal consistency and compatibility with the
+    /// configuration about to resume it.
+    pub fn validate(&self, machines: usize) -> Result<(), MrError> {
+        let err = |msg: String| Err(MrError::Checkpoint(msg));
+        if self.machines != machines {
+            return err(format!(
+                "checkpoint was cut on {} machines but resume is configured for {machines}",
+                self.machines
+            ));
+        }
+        if self.tasks.len() != self.schedule.num_tasks {
+            return err(format!(
+                "checkpoint has {} task entries but the schedule expects {}",
+                self.tasks.len(),
+                self.schedule.num_tasks
+            ));
+        }
+        for (idx, t) in self.tasks.iter().enumerate() {
+            if t.task != idx {
+                return err(format!(
+                    "task entry {idx} records task id {} (entries must be in task order)",
+                    t.task
+                ));
+            }
+            let blocks = self.schedule.block_order[idx].len();
+            if t.blocks_done > blocks {
+                return err(format!(
+                    "task {idx} claims {} resolved blocks but its schedule has only {blocks}",
+                    t.blocks_done
+                ));
+            }
+            if !t.clock.is_finite() || t.clock < 0.0 {
+                return err(format!(
+                    "task {idx} has a non-finite or negative clock ({})",
+                    t.clock
+                ));
+            }
+            for tree in t.resolved.iter().map(|(tree, _)| *tree) {
+                if tree >= self.schedule.trees.len() {
+                    return err(format!(
+                        "task {idx} references tree {tree}, but the schedule has only {}",
+                        self.schedule.trees.len()
+                    ));
+                }
+            }
+            for w in t.duplicates.windows(2) {
+                if w[1].0 < w[0].0 {
+                    return err(format!(
+                        "task {idx} duplicates are not in cost order ({} after {})",
+                        w[1].0, w[0].0
+                    ));
+                }
+            }
+            if let Some(&(cost, _, _)) = t.duplicates.last() {
+                if cost > t.clock {
+                    return err(format!(
+                        "task {idx} records a duplicate at cost {cost} past its clock {}",
+                        t.clock
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Result<String, MrError> {
+        serde_json::to_string(self).map_err(|e| MrError::Checkpoint(e.to_string()))
+    }
+
+    /// Deserialize from JSON produced by [`Checkpoint::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, MrError> {
+        serde_json::from_str(json).map_err(|e| MrError::Checkpoint(e.to_string()))
+    }
+
+    /// Total duplicates recorded across all task checkpoints.
+    pub fn duplicates_found(&self) -> usize {
+        self.tasks.iter().map(|t| t.duplicates.len()).sum()
+    }
+
+    /// Total resolved blocks across all task checkpoints.
+    pub fn blocks_done(&self) -> usize {
+        self.tasks.iter().map(|t| t.blocks_done).sum()
+    }
+
+    /// Blocks the resumed run still has to resolve.
+    pub fn blocks_remaining(&self) -> usize {
+        self.schedule
+            .block_order
+            .iter()
+            .zip(&self.tasks)
+            .map(|(blocks, t)| blocks.len() - t.blocks_done)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_checkpoint() -> Checkpoint {
+        // A structurally minimal schedule: serde-round-trip and validation
+        // only look at `num_tasks`, `block_order`, and `trees` lengths.
+        let schedule = Schedule {
+            trees: Vec::new(),
+            task_of_tree: Vec::new(),
+            block_order: vec![Vec::new(), Vec::new()],
+            tree_sq: Vec::new(),
+            dom: Vec::new(),
+            num_tasks: 2,
+        };
+        Checkpoint {
+            schedule,
+            job1_cost: 1234.5,
+            crash_at: 500.0,
+            machines: 1,
+            tasks: vec![
+                TaskCheckpoint {
+                    task: 0,
+                    blocks_done: 0,
+                    clock: 60.0,
+                    resolved: Vec::new(),
+                    duplicates: vec![(55.0, 1, 2)],
+                },
+                TaskCheckpoint {
+                    task: 1,
+                    blocks_done: 0,
+                    clock: 50.0,
+                    resolved: Vec::new(),
+                    duplicates: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cp = tiny_checkpoint();
+        let json = cp.to_json().unwrap();
+        let back = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(back.job1_cost, cp.job1_cost);
+        assert_eq!(back.tasks.len(), 2);
+        assert_eq!(back.tasks[0].duplicates, vec![(55.0, 1, 2)]);
+        assert!(back.validate(1).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_mismatches() {
+        let cp = tiny_checkpoint();
+        assert!(matches!(cp.validate(3), Err(MrError::Checkpoint(_))));
+
+        let mut wrong_tasks = tiny_checkpoint();
+        wrong_tasks.tasks.pop();
+        assert!(wrong_tasks.validate(1).is_err());
+
+        let mut bad_watermark = tiny_checkpoint();
+        bad_watermark.tasks[0].blocks_done = 7;
+        assert!(bad_watermark.validate(1).is_err());
+
+        let mut bad_clock = tiny_checkpoint();
+        bad_clock.tasks[1].clock = f64::NAN;
+        assert!(bad_clock.validate(1).is_err());
+
+        let mut late_dup = tiny_checkpoint();
+        late_dup.tasks[0].duplicates.push((100.0, 3, 4));
+        assert!(late_dup.validate(1).is_err());
+    }
+
+    #[test]
+    fn garbage_json_is_a_checkpoint_error() {
+        assert!(matches!(
+            Checkpoint::from_json("{not json"),
+            Err(MrError::Checkpoint(_))
+        ));
+    }
+}

@@ -130,6 +130,10 @@ pub struct ErConfig {
     pub worker_threads: Option<usize>,
     /// Task-failure injection applied to the resolution (second) job.
     pub faults: Option<pper_mapreduce::FaultPlan>,
+    /// Speculative execution (LATE-style backup attempts for straggler
+    /// tasks) for both jobs. `None` disables speculation, like
+    /// `mapred.map.tasks.speculative.execution=false`.
+    pub speculation: Option<pper_mapreduce::SpeculationConfig>,
     /// Opt-in skew-aware shuffle balancing for the hash-partitioned jobs
     /// (Basic's single job, the pipeline's statistics job). `None` keeps
     /// Hadoop's default hash routing; `Some(ShuffleBalance::Pairs)` places
@@ -188,6 +192,7 @@ impl ErConfig {
             alpha: 2_000.0,
             worker_threads: None,
             faults: None,
+            speculation: None,
             shuffle_balance: None,
             use_prepared: true,
         }
@@ -222,6 +227,7 @@ impl ErConfig {
             alpha: 2_000.0,
             worker_threads: None,
             faults: None,
+            speculation: None,
             shuffle_balance: None,
             use_prepared: true,
         }
@@ -242,6 +248,12 @@ impl ErConfig {
     /// Enable skew-aware shuffle balancing on the hash-partitioned jobs.
     pub fn with_shuffle_balance(mut self, balance: pper_mapreduce::ShuffleBalance) -> Self {
         self.shuffle_balance = Some(balance);
+        self
+    }
+
+    /// Enable LATE-style speculative execution for straggler tasks.
+    pub fn with_speculation(mut self, spec: pper_mapreduce::SpeculationConfig) -> Self {
+        self.speculation = Some(spec);
         self
     }
 

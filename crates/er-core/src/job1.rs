@@ -114,6 +114,7 @@ pub fn run_job1(ds: &Dataset, config: &ErConfig) -> Result<Job1Result, MrError> 
     cfg.cost_model = config.cost_model.clone();
     cfg.worker_threads = config.worker_threads;
     cfg.shuffle_balance = config.shuffle_balance;
+    cfg.speculation = config.speculation;
 
     let mapper = AnnotateMapper {
         families: &config.families,

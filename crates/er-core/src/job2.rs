@@ -17,6 +17,18 @@
 //!   (`SHOULD-RESOLVE`) and pairs already resolved in this tree's child
 //!   blocks. Root blocks resolve fully. Duplicates stream through an
 //!   [`IncrementalWriter`] cut every α cost units.
+//!
+//! ## Crash and resume
+//!
+//! The reduce phase can additionally run in two fault-tolerance modes (see
+//! [`crate::checkpoint`]): *crash mode* executes each task only until its
+//! virtual clock crosses a kill threshold and emits a [`TaskCheckpoint`]
+//! cut at the last completed block boundary, and *resume mode* seeds each
+//! task from a checkpoint — replaying recorded duplicates at their original
+//! virtual costs, restoring the resolved-pair sets, continuing the clock
+//! from the checkpointed watermark, and resolving only the remaining
+//! blocks. Because execution is deterministic, crash + resume reproduces
+//! the uninterrupted run's duplicate set and timeline bit for bit.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -29,6 +41,7 @@ use pper_progressive::{LevelPolicy, PairSource, StopState};
 use pper_schedule::{should_resolve, DomList, Schedule, TreeLocator};
 use pper_simil::{MatchRule, PreparedCache, PreparedRule, SimScratch};
 
+use crate::checkpoint::{Checkpoint, TaskCheckpoint};
 use crate::config::ErConfig;
 use crate::EVENT_DUPLICATE;
 
@@ -74,6 +87,28 @@ struct TreeState {
     resolved: HashSet<(EntityId, EntityId)>,
 }
 
+/// How the reduce phase executes (see the module docs' crash/resume
+/// section).
+#[derive(Clone, Copy)]
+enum ReduceMode<'a> {
+    /// Ordinary resolution: resolve every scheduled block.
+    Normal,
+    /// Kill each reduce task once its virtual clock crosses the threshold;
+    /// emit a [`TaskCheckpoint`] cut at the last completed block.
+    CrashAt(f64),
+    /// Restore each task from the checkpoint and resolve only the
+    /// remaining blocks.
+    Resume(&'a Checkpoint),
+}
+
+/// Reduce output: result segments in normal/resume modes, one task
+/// checkpoint per reduce task in crash mode.
+#[derive(Debug)]
+enum Job2Out {
+    Seg(Segment<(EntityId, EntityId)>),
+    Ckpt(TaskCheckpoint),
+}
+
 struct ResolveReducer<'a> {
     families: &'a [BlockingFamily],
     schedule: &'a Arc<Schedule>,
@@ -83,18 +118,19 @@ struct ResolveReducer<'a> {
     prepared: Option<PreparedRule>,
     mechanism: crate::config::MechanismKind,
     alpha: f64,
+    mode: ReduceMode<'a>,
 }
 
 impl PartitionReducer for ResolveReducer<'_> {
     type Key = u64;
     type Value = Routed;
-    type Output = Segment<(EntityId, EntityId)>;
+    type Output = Job2Out;
 
     fn reduce_partition(
         &self,
         groups: Vec<(u64, Vec<Routed>)>,
         ctx: &mut TaskContext,
-        out: &mut Vec<Segment<(EntityId, EntityId)>>,
+        out: &mut Vec<Job2Out>,
     ) {
         let task = ctx.id.index;
         let n_families = self.families.len();
@@ -129,15 +165,78 @@ impl PartitionReducer for ResolveReducer<'_> {
         let mut writer: IncrementalWriter<(EntityId, EntityId)> =
             IncrementalWriter::new(self.alpha, ctx.now());
 
+        let resume = match self.mode {
+            ReduceMode::Resume(cp) => Some(&cp.tasks[task]),
+            _ => None,
+        };
+        let crash_at = match self.mode {
+            ReduceMode::CrashAt(limit) => Some(limit),
+            _ => None,
+        };
+
+        if let Some(tc) = resume {
+            // Work redone before the clock override (startup, shuffle,
+            // schedule ingestion) is the price of resuming.
+            ctx.counters
+                .add("resume_replay_cost", ctx.now().round() as u64);
+            // Restore the resolved-pair sets so blocks resolved after the
+            // resume still skip work the checkpointed blocks already did.
+            for &(tree, ref pairs) in &tc.resolved {
+                if let Some(state) = states.get_mut(&tree) {
+                    state.resolved.extend(pairs.iter().copied());
+                }
+            }
+            // Replay checkpointed duplicates at their original task-local
+            // costs: the writer was created at the same start cost as in
+            // the killed run and segments cut on a fixed α-grid, so the
+            // replay reproduces the original segment files and timeline.
+            for &(cost, a, b) in &tc.duplicates {
+                ctx.events
+                    .push(cost, EVENT_DUPLICATE, crate::pack_pair(a, b));
+                writer.write(cost, (a.min(b), a.max(b)));
+                ctx.counters.incr("duplicates_found");
+                ctx.counters.incr("resume_replayed_duplicates");
+            }
+            // Continue the virtual clock from the checkpointed watermark;
+            // the remaining blocks then land on exactly the costs the
+            // uninterrupted run would have charged.
+            ctx.clock = CostClock::with_offset(tc.clock);
+        }
+
+        // Crash-mode bookkeeping: the checkpoint is cut at the last
+        // completed block boundary, so a mid-block kill rolls the partial
+        // block back below.
+        let mut blocks_done = resume.map_or(0, |tc| tc.blocks_done);
+        let mut ckpt_clock = ctx.now();
+        let mut dup_log: Vec<(f64, EntityId, EntityId)> = Vec::new();
+        let mut dups_at_boundary = 0usize;
+
         // Per-reduce-task prepared state: an entity's signatures are built
         // on its first comparison in this task and reused across every
         // block (of any tree) the task resolves it in.
         let mut cache: PreparedCache<EntityId> = PreparedCache::new();
         let mut scratch = SimScratch::new();
 
-        for block in &self.schedule.block_order[task] {
+        'blocks: for (block_idx, block) in self.schedule.block_order[task].iter().enumerate() {
+            if let Some(tc) = resume {
+                if block_idx < tc.blocks_done {
+                    // Already resolved before the crash; its charges are
+                    // part of the checkpointed clock.
+                    ctx.counters.incr("job2_blocks_skipped_resumed");
+                    continue;
+                }
+            }
+            if let Some(limit) = crash_at {
+                if ctx.now() >= limit {
+                    break 'blocks;
+                }
+            }
             let Some(state) = states.get_mut(&block.tree) else {
-                continue; // tree received no entities (cannot happen for real trees)
+                // Tree received no entities (cannot happen for real trees).
+                blocks_done = block_idx + 1;
+                ckpt_clock = ctx.now();
+                dups_at_boundary = dup_log.len();
+                continue;
             };
             let plan_tree = &self.schedule.trees[block.tree];
             let node = &plan_tree.nodes[block.node];
@@ -155,6 +254,9 @@ impl PartitionReducer for ResolveReducer<'_> {
             members.sort_unstable();
             ctx.charge(ctx.cost_model.read_per_entity * state.entities.len() as f64);
             if members.len() < 2 {
+                blocks_done = block_idx + 1;
+                ckpt_clock = ctx.now();
+                dups_at_boundary = dup_log.len();
                 continue;
             }
 
@@ -178,8 +280,21 @@ impl PartitionReducer for ResolveReducer<'_> {
             let window = self.policy.window(is_root, is_leaf);
             let mut run = self.mechanism.start(sorted, window);
             let mut stop = StopState::new(self.policy.stop_rule(is_root, members.len()));
+            let mut block_added: Vec<(EntityId, EntityId)> = Vec::new();
 
             while let Some((a, b)) = run.next_pair() {
+                if let Some(limit) = crash_at {
+                    if ctx.now() >= limit {
+                        // Killed mid-block: roll the partial block back so
+                        // the checkpoint sits exactly on the last completed
+                        // block boundary.
+                        for key in &block_added {
+                            state.resolved.remove(key);
+                        }
+                        dup_log.truncate(dups_at_boundary);
+                        break 'blocks;
+                    }
+                }
                 let key = (a.min(b), a.max(b));
                 if state.resolved.contains(&key) {
                     ctx.counters.incr("pairs_skipped_already_resolved");
@@ -198,6 +313,9 @@ impl PartitionReducer for ResolveReducer<'_> {
                 ctx.charge(ctx.cost_model.resolve_pair);
                 ctx.counters.incr("pairs_compared");
                 state.resolved.insert(key);
+                if crash_at.is_some() {
+                    block_added.push(key);
+                }
                 let is_dup = match &self.prepared {
                     Some(pr) => cache.matches_pair(
                         pr,
@@ -214,6 +332,9 @@ impl PartitionReducer for ResolveReducer<'_> {
                     ctx.counters.incr("duplicates_found");
                     ctx.log_event(EVENT_DUPLICATE, crate::pack_pair(a, b));
                     writer.write(ctx.now(), key);
+                    if crash_at.is_some() {
+                        dup_log.push((ctx.now(), a, b));
+                    }
                 } else {
                     writer.advance(ctx.now());
                 }
@@ -223,9 +344,34 @@ impl PartitionReducer for ResolveReducer<'_> {
                 }
             }
             ctx.counters.incr("blocks_resolved");
+            blocks_done = block_idx + 1;
+            ckpt_clock = ctx.now();
+            dups_at_boundary = dup_log.len();
         }
 
-        out.extend(writer.finish(ctx.now()));
+        if matches!(self.mode, ReduceMode::CrashAt(_)) {
+            // The crashed run's in-memory results are lost; only the
+            // checkpoint (with its embedded duplicate log) survives.
+            let mut resolved: Vec<(usize, Vec<(EntityId, EntityId)>)> = states
+                .iter()
+                .filter(|(_, s)| !s.resolved.is_empty())
+                .map(|(&tree, s)| {
+                    let mut pairs: Vec<_> = s.resolved.iter().copied().collect();
+                    pairs.sort_unstable();
+                    (tree, pairs)
+                })
+                .collect();
+            resolved.sort_unstable_by_key(|&(tree, _)| tree);
+            out.push(Job2Out::Ckpt(TaskCheckpoint {
+                task,
+                blocks_done,
+                clock: ckpt_clock,
+                resolved,
+                duplicates: dup_log,
+            }));
+        } else {
+            out.extend(writer.finish(ctx.now()).into_iter().map(Job2Out::Seg));
+        }
     }
 }
 
@@ -244,27 +390,28 @@ pub struct Job2Result {
     pub counters: Counters,
 }
 
-/// Run the second job against a generated schedule.
-pub fn run_job2(
+fn run_job2_inner(
     ds: &Dataset,
     config: &ErConfig,
-    schedule: Arc<Schedule>,
-) -> Result<Job2Result, MrError> {
-    let locator = Arc::new(TreeLocator::new(&schedule, config.families.len()));
+    schedule: &Arc<Schedule>,
+    mode: ReduceMode<'_>,
+) -> Result<pper_mapreduce::runtime::JobResult<Job2Out>, MrError> {
+    let locator = Arc::new(TreeLocator::new(schedule, config.families.len()));
     let mut cfg = JobConfig::new("pper-job2-resolution", config.cluster());
     cfg.cost_model = config.cost_model.clone();
     cfg.worker_threads = config.worker_threads;
     cfg.num_reduce_tasks = Some(schedule.num_tasks);
     cfg.faults = config.faults.clone();
+    cfg.speculation = config.speculation;
 
     let mapper = RouteMapper {
         families: &config.families,
-        schedule: &schedule,
+        schedule,
         locator: &locator,
     };
     let reducer = ResolveReducer {
         families: &config.families,
-        schedule: &schedule,
+        schedule,
         policy: &config.policy,
         rule: &config.rule,
         prepared: config
@@ -272,25 +419,94 @@ pub fn run_job2(
             .then(|| PreparedRule::new(config.rule.clone())),
         mechanism: config.mechanism,
         alpha: config.alpha,
+        mode,
     };
     let partitioner = RangePartitioner::new(schedule.sq_bounds(), |sq: &u64| *sq);
-    let result = run_job_with_partitioner(&cfg, &mapper, &reducer, &partitioner, &ds.entities)?;
+    run_job_with_partitioner(&cfg, &mapper, &reducer, &partitioner, &ds.entities)
+}
 
-    let mut duplicates: Vec<(EntityId, EntityId)> = result
+fn assemble(result: pper_mapreduce::runtime::JobResult<Job2Out>) -> Job2Result {
+    let segments: Vec<Segment<(EntityId, EntityId)>> = result
         .outputs
+        .into_iter()
+        .filter_map(|o| match o {
+            Job2Out::Seg(s) => Some(s),
+            Job2Out::Ckpt(_) => None,
+        })
+        .collect();
+    let mut duplicates: Vec<(EntityId, EntityId)> = segments
         .iter()
         .flat_map(|s| s.records.iter().copied())
         .collect();
     duplicates.sort_unstable();
     duplicates.dedup();
 
-    Ok(Job2Result {
+    Job2Result {
         duplicates,
-        segments: result.outputs,
+        segments,
         timeline: result.timeline,
         virtual_cost: result.total_virtual_cost,
         counters: result.counters,
-    })
+    }
+}
+
+/// Run the second job against a generated schedule.
+pub fn run_job2(
+    ds: &Dataset,
+    config: &ErConfig,
+    schedule: Arc<Schedule>,
+) -> Result<Job2Result, MrError> {
+    run_job2_inner(ds, config, &schedule, ReduceMode::Normal).map(assemble)
+}
+
+/// Run the second job but kill every reduce task once its task-local
+/// virtual clock crosses `crash_at`, returning the per-task checkpoints cut
+/// at the last completed block boundaries (in task order). The crashed
+/// run's own outputs are discarded — only the checkpoints survive, exactly
+/// as if the cluster died and the checkpoint files were all that was left.
+pub fn run_job2_to_crash(
+    ds: &Dataset,
+    config: &ErConfig,
+    schedule: Arc<Schedule>,
+    crash_at: f64,
+) -> Result<Vec<TaskCheckpoint>, MrError> {
+    if !crash_at.is_finite() || crash_at < 0.0 {
+        return Err(MrError::Checkpoint(format!(
+            "crash threshold must be finite and non-negative, got {crash_at}"
+        )));
+    }
+    let result = run_job2_inner(ds, config, &schedule, ReduceMode::CrashAt(crash_at))?;
+    let mut tasks: Vec<TaskCheckpoint> = result
+        .outputs
+        .into_iter()
+        .filter_map(|o| match o {
+            Job2Out::Ckpt(tc) => Some(tc),
+            Job2Out::Seg(_) => None,
+        })
+        .collect();
+    tasks.sort_unstable_by_key(|tc| tc.task);
+    if tasks.len() != schedule.num_tasks {
+        return Err(MrError::Checkpoint(format!(
+            "crashed run produced {} task checkpoints, expected {}",
+            tasks.len(),
+            schedule.num_tasks
+        )));
+    }
+    Ok(tasks)
+}
+
+/// Resume the second job from a validated [`Checkpoint`]: replay the
+/// checkpointed duplicates and resolve only the remaining blocks. The
+/// returned result is bit-identical to an uninterrupted [`run_job2`] in its
+/// duplicate set, segments, and timeline.
+pub fn run_job2_resume(
+    ds: &Dataset,
+    config: &ErConfig,
+    checkpoint: &Checkpoint,
+) -> Result<Job2Result, MrError> {
+    checkpoint.validate(config.machines)?;
+    let schedule = Arc::new(checkpoint.schedule.clone());
+    run_job2_inner(ds, config, &schedule, ReduceMode::Resume(checkpoint)).map(assemble)
 }
 
 #[cfg(test)]

@@ -18,6 +18,9 @@
 //!   redundancy elimination of Kolb et al. (ref. [14]);
 //! * [`pipeline`] — orchestration: the two jobs chained, timelines merged,
 //!   results exposed as a [`metrics::RecallCurve`];
+//! * [`checkpoint`] — crash/resume support: kill the resolution job
+//!   mid-flight, persist a [`checkpoint::Checkpoint`], and resume to a
+//!   bit-identical result (see [`pipeline::ProgressiveEr::run_to_crash`]);
 //! * [`metrics`] — duplicate recall curves, the `Qty` quality measure
 //!   (Eq. 1), and recall speedup (§VI-B4).
 //!
@@ -33,6 +36,7 @@
 
 pub mod basic;
 pub mod budget;
+pub mod checkpoint;
 pub mod clustering;
 pub mod config;
 pub mod incremental;
@@ -45,6 +49,7 @@ pub mod pipeline;
 pub mod prelude {
     pub use crate::basic::{BasicApproach, BasicConfig};
     pub use crate::budget::{run_with_budget, BudgetReport};
+    pub use crate::checkpoint::{Checkpoint, TaskCheckpoint};
     pub use crate::clustering::{
         correlation_clustering, transitive_closure, ClusterMetrics, UnionFind,
     };

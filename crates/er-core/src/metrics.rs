@@ -7,7 +7,11 @@ use serde::{Deserialize, Serialize};
 use crate::EVENT_DUPLICATE;
 
 /// Cumulative duplicate recall as a function of (virtual) resolution cost.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares breakpoints exactly (bitwise on costs) — used by the
+/// checkpoint/resume tests to prove a resumed run reproduces the
+/// uninterrupted curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecallCurve {
     /// `(cost, cumulative correct duplicates)` breakpoints, ascending cost.
     points: Vec<(f64, u64)>,
@@ -75,10 +79,7 @@ impl RecallCurve {
 
     /// Correct duplicates found by `cost`.
     pub fn found_at(&self, cost: f64) -> u64 {
-        match self
-            .points
-            .binary_search_by(|p| p.0.partial_cmp(&cost).unwrap())
-        {
+        match self.points.binary_search_by(|p| p.0.total_cmp(&cost)) {
             Ok(mut i) => {
                 // Step to the last point with the same cost.
                 while i + 1 < self.points.len() && self.points[i + 1].0 <= cost {

@@ -8,9 +8,10 @@ use pper_datagen::Dataset;
 use pper_mapreduce::{Counters, MrError, ProgressEvent};
 use pper_schedule::{generate_schedule, EstimationContext, Schedule};
 
+use crate::checkpoint::Checkpoint;
 use crate::config::ErConfig;
 use crate::job1::run_job1;
-use crate::job2::run_job2;
+use crate::job2::{run_job2, run_job2_resume, run_job2_to_crash, Job2Result};
 use crate::metrics::RecallCurve;
 
 /// Result of one ER run (ours or a baseline) — everything the experiment
@@ -78,8 +79,56 @@ impl ProgressiveEr {
         // ---- Second job: schedule-driven resolution ---------------------
         let job2 = run_job2(ds, config, Arc::clone(&schedule))?;
 
+        Ok(self.assemble(ds, job2, job1.virtual_cost, job1.counters))
+    }
+
+    /// Run the pipeline but kill every reduce task of the resolution job
+    /// once its task-local virtual clock crosses `crash_at`, returning the
+    /// [`Checkpoint`] a real deployment would have persisted: the schedule,
+    /// the first job's completion time, and per-task resume state cut at
+    /// the last completed block boundaries. The crashed run's results are
+    /// otherwise discarded. Feed the checkpoint to
+    /// [`ProgressiveEr::resume`] to finish the run.
+    pub fn run_to_crash(&self, ds: &Dataset, crash_at: f64) -> Result<Checkpoint, MrError> {
+        let config = &self.config;
+        let job1 = run_job1(ds, config)?;
+        let schedule = Arc::new(self.generate_schedule(ds, &job1.stats));
+        let tasks = run_job2_to_crash(ds, config, Arc::clone(&schedule), crash_at)?;
+        Ok(Checkpoint {
+            schedule: Arc::try_unwrap(schedule).unwrap_or_else(|s| (*s).clone()),
+            job1_cost: job1.virtual_cost,
+            crash_at,
+            machines: config.machines,
+            tasks,
+        })
+    }
+
+    /// Resume a killed run from its [`Checkpoint`]: the first job and
+    /// schedule generation are *not* re-run (their outputs live in the
+    /// checkpoint); the resolution job replays the checkpointed duplicates
+    /// and resolves only the remaining blocks. The result is bit-identical
+    /// to the uninterrupted [`ProgressiveEr::try_run`] in its duplicate
+    /// set, found events, recall curve, and total cost.
+    pub fn resume(&self, ds: &Dataset, checkpoint: &Checkpoint) -> Result<ErRunResult, MrError> {
+        let config = &self.config;
+        checkpoint.validate(config.machines)?;
+        let job2 = run_job2_resume(ds, config, checkpoint)?;
+        Ok(self.assemble(ds, job2, checkpoint.job1_cost, Counters::new()))
+    }
+
+    /// Shared tail of [`ProgressiveEr::try_run`] and
+    /// [`ProgressiveEr::resume`]: splice the resolution job's timeline onto
+    /// the global clock at `offset` and derive curve/precision/counters.
+    fn assemble(
+        &self,
+        ds: &Dataset,
+        job2: Job2Result,
+        offset: f64,
+        mut counters: Counters,
+    ) -> ErRunResult {
+        let config = &self.config;
+
         // Merge timelines: job 2 starts where job 1 finished.
-        let offset = job1.virtual_cost;
         let timeline: Vec<ProgressEvent> = job2
             .timeline
             .iter()
@@ -107,7 +156,6 @@ impl ProgressiveEr {
             correct as f64 / job2.duplicates.len() as f64
         };
 
-        let mut counters = job1.counters;
         counters.merge(&job2.counters);
 
         let found_events = timeline
@@ -119,7 +167,7 @@ impl ProgressiveEr {
             })
             .collect();
 
-        Ok(ErRunResult {
+        ErRunResult {
             curve,
             duplicates: job2.duplicates,
             found_events,
@@ -133,7 +181,7 @@ impl ProgressiveEr {
                 config.schedule.scheduler,
                 config.machines
             ),
-        })
+        }
     }
 
     /// Generate the progressive schedule from first-job statistics.

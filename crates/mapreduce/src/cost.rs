@@ -141,7 +141,7 @@ pub fn virtual_makespan(task_costs: &[f64], slots: usize) -> f64 {
         let (idx, _) = loads
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("slots >= 1");
         loads[idx] += c;
     }
@@ -161,7 +161,7 @@ pub fn list_schedule_starts(task_costs: &[f64], slots: usize) -> Vec<f64> {
         let (idx, _) = loads
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("slots >= 1");
         starts.push(loads[idx]);
         loads[idx] += c;

@@ -68,7 +68,7 @@ impl Driver {
     /// The merged global timeline, sorted by time.
     pub fn timeline(&self) -> Vec<ProgressEvent> {
         let mut t = self.timeline.clone();
-        t.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+        t.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         t
     }
 

@@ -11,14 +11,21 @@ pub enum MrError {
     TaskPanicked { task: String, message: String },
     /// Spill/serialization failure in the intermediate store.
     Spill(String),
-    /// A task exhausted its attempt budget (injected failures, see
-    /// [`crate::faults::FaultPlan`]).
+    /// A [`crate::faults::FaultPlan`] referenced tasks the job does not have
+    /// or used nonsensical parameters.
+    InvalidFaultPlan(String),
+    /// A task exhausted its attempt budget (injected failures or repeated
+    /// panics, see [`crate::faults::FaultPlan`]).
     TaskFailed {
         /// Task description.
         task: String,
         /// Attempt budget that was exhausted.
         attempts: u32,
+        /// Why the last attempt died.
+        last_error: String,
     },
+    /// A checkpoint could not be validated or applied during resume.
+    Checkpoint(String),
 }
 
 impl fmt::Display for MrError {
@@ -29,9 +36,18 @@ impl fmt::Display for MrError {
                 write!(f, "task {task} panicked: {message}")
             }
             MrError::Spill(msg) => write!(f, "spill error: {msg}"),
-            MrError::TaskFailed { task, attempts } => {
-                write!(f, "task {task} failed after {attempts} attempts")
+            MrError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            MrError::TaskFailed {
+                task,
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "task {task} failed after {attempts} attempts: {last_error}"
+                )
             }
+            MrError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -1,28 +1,69 @@
-//! Deterministic task-failure injection.
+//! Deterministic task-failure injection and speculative-execution policy.
 //!
 //! Hadoop re-executes failed tasks (up to `mapreduce.map.maxattempts`,
 //! default 4); a failure wastes the partial work of the crashed attempt and
 //! delays everything scheduled behind it. [`FaultPlan`] injects exactly such
-//! failures into a job: the chosen tasks "crash" after completing a
-//! configurable fraction of their work for a configurable number of
-//! attempts, and the runtime accounts the wasted virtual cost and shifts
-//! the surviving attempt's progress events accordingly.
+//! failures into a job, in two flavours:
 //!
-//! Failures are specified per task index, so tests are fully deterministic.
+//! * **legacy discard failures** (`map_failures` / `reduce_failures`): the
+//!   chosen task "crashes" after completing `failure_fraction` of its work
+//!   for the given number of attempts; the attempt actually runs, its output
+//!   is discarded, and the wasted virtual cost is accounted;
+//! * **attempt faults** (`attempt_faults`): keyed by `(task, attempt)`, these
+//!   make the attempt *really die* — either immediately at attempt start
+//!   (`abort_at: None`, wasting one task startup) or by panicking the moment
+//!   the attempt's virtual clock crosses `abort_at` (the runtime catches the
+//!   [`InjectedAbort`] panic, charges the partial work as wasted cost, and
+//!   re-runs the task as a fresh attempt).
+//!
+//! Both flavours are specified per task index (and per attempt for the
+//! second), so chaos tests are fully deterministic. Only exhausting the
+//! attempt budget fails the job.
+//!
+//! [`SpeculationConfig`] enables Hadoop-style speculative execution on the
+//! virtual clock: tasks whose projected finish exceeds a multiple of the
+//! median task cost get a backup attempt (see `crate::runtime`).
 
 use serde::{Deserialize, Serialize};
 
 use crate::job::TaskKind;
 
+/// Panic payload thrown by [`crate::job::TaskContext::charge`] when an
+/// injected fault aborts the running attempt. The runtime downcasts to this
+/// to distinguish injected aborts from genuine user-code panics.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedAbort {
+    /// Task-local virtual time at which the attempt died.
+    pub at: f64,
+}
+
+/// One injected attempt death, keyed by `(task, attempt)`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AttemptFault {
+    /// Map or reduce side.
+    pub kind: TaskKind,
+    /// Task index within the phase (0-based).
+    pub index: usize,
+    /// Which attempt dies (1-based, like Hadoop attempt ids).
+    pub attempt: u32,
+    /// `None`: the attempt dies before doing any work (wastes one task
+    /// startup). `Some(c)`: the attempt panics as soon as its virtual clock
+    /// crosses `c` cost units; if the attempt finishes under `c` it survives.
+    pub abort_at: Option<f64>,
+}
+
 /// Failure schedule for one job.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultPlan {
-    /// `(map task index, number of failing attempts)`.
+    /// `(map task index, number of failing attempts)` — legacy discard mode.
     pub map_failures: Vec<(usize, u32)>,
-    /// `(reduce task index, number of failing attempts)`.
+    /// `(reduce task index, number of failing attempts)` — legacy discard mode.
     pub reduce_failures: Vec<(usize, u32)>,
-    /// Fraction of the task's work completed before each crash (wasted
-    /// cost per failed attempt = fraction × task cost).
+    /// Attempt deaths keyed by `(task, attempt)` — these really kill the
+    /// running attempt (panic) instead of discarding a completed one.
+    pub attempt_faults: Vec<AttemptFault>,
+    /// Fraction of the task's work completed before each legacy crash
+    /// (wasted cost per failed attempt = fraction × task cost).
     pub failure_fraction: f64,
     /// Attempts allowed per task (Hadoop's default is 4). A task whose
     /// injected failures reach this bound fails the job.
@@ -34,6 +75,7 @@ impl Default for FaultPlan {
         Self {
             map_failures: Vec::new(),
             reduce_failures: Vec::new(),
+            attempt_faults: Vec::new(),
             failure_fraction: 0.5,
             max_attempts: 4,
         }
@@ -57,7 +99,31 @@ impl FaultPlan {
         }
     }
 
-    /// Number of failing attempts injected for a task.
+    /// Add an attempt that dies at its start (no work done, one task startup
+    /// wasted). Chainable.
+    pub fn with_crash(mut self, kind: TaskKind, index: usize, attempt: u32) -> Self {
+        self.attempt_faults.push(AttemptFault {
+            kind,
+            index,
+            attempt,
+            abort_at: None,
+        });
+        self
+    }
+
+    /// Add an attempt that panics once its virtual clock crosses `at` cost
+    /// units. Chainable.
+    pub fn with_abort(mut self, kind: TaskKind, index: usize, attempt: u32, at: f64) -> Self {
+        self.attempt_faults.push(AttemptFault {
+            kind,
+            index,
+            attempt,
+            abort_at: Some(at),
+        });
+        self
+    }
+
+    /// Number of legacy (discard-mode) failing attempts injected for a task.
     pub fn failures_for(&self, kind: TaskKind, index: usize) -> u32 {
         let list = match kind {
             TaskKind::Map => &self.map_failures,
@@ -68,9 +134,115 @@ impl FaultPlan {
             .map_or(0, |(_, n)| *n)
     }
 
+    /// The injected death for `(task, attempt)`, if any.
+    pub fn fault_for(&self, kind: TaskKind, index: usize, attempt: u32) -> Option<AttemptFault> {
+        self.attempt_faults
+            .iter()
+            .find(|f| f.kind == kind && f.index == index && f.attempt == attempt)
+            .copied()
+    }
+
+    /// Total injected deaths (either flavour) for a task. If this reaches
+    /// `max_attempts` the task — and hence the job — fails.
+    pub fn deaths_for(&self, kind: TaskKind, index: usize) -> u32 {
+        let keyed = self
+            .attempt_faults
+            .iter()
+            .filter(|f| f.kind == kind && f.index == index)
+            .count() as u32;
+        self.failures_for(kind, index) + keyed
+    }
+
     /// True if the injected failures exhaust the attempt budget.
     pub fn exhausts_attempts(&self, kind: TaskKind, index: usize) -> bool {
-        self.failures_for(kind, index) + 1 > self.max_attempts
+        self.deaths_for(kind, index) + 1 > self.max_attempts
+    }
+
+    /// Validate the plan against the job's task counts: every referenced
+    /// task index must exist, the failure fraction must be a sane fraction,
+    /// and the attempt budget must allow at least one attempt. Returns a
+    /// human-readable description of the first violation.
+    pub fn validate(&self, num_map: usize, num_reduce: usize) -> Result<(), String> {
+        if self.max_attempts == 0 {
+            return Err("max_attempts must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.failure_fraction) {
+            return Err(format!(
+                "failure_fraction must be within [0, 1], got {}",
+                self.failure_fraction
+            ));
+        }
+        let bound = |kind: TaskKind| match kind {
+            TaskKind::Map => num_map,
+            TaskKind::Reduce => num_reduce,
+        };
+        for (list, kind) in [
+            (&self.map_failures, TaskKind::Map),
+            (&self.reduce_failures, TaskKind::Reduce),
+        ] {
+            for &(index, _) in list.iter() {
+                if index >= bound(kind) {
+                    return Err(format!(
+                        "{} failure references task index {index}, but the job has only {} such tasks",
+                        match kind {
+                            TaskKind::Map => "map",
+                            TaskKind::Reduce => "reduce",
+                        },
+                        bound(kind)
+                    ));
+                }
+            }
+        }
+        for fault in &self.attempt_faults {
+            if fault.index >= bound(fault.kind) {
+                return Err(format!(
+                    "attempt fault references {} task index {}, but the job has only {} such tasks",
+                    match fault.kind {
+                        TaskKind::Map => "map",
+                        TaskKind::Reduce => "reduce",
+                    },
+                    fault.index,
+                    bound(fault.kind)
+                ));
+            }
+            if fault.attempt == 0 {
+                return Err(format!(
+                    "attempt fault on task index {} uses attempt 0; attempts are 1-based",
+                    fault.index
+                ));
+            }
+            if let Some(at) = fault.abort_at {
+                if !at.is_finite() || at < 0.0 {
+                    return Err(format!(
+                        "attempt fault on task index {} has a non-finite or negative abort_at ({at})",
+                        fault.index
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Hadoop-style speculative execution policy (the LATE heuristic on the
+/// virtual clock): once the median task of a phase has finished, any task
+/// whose projected finish exceeds `slowdown_threshold × median` gets a
+/// backup attempt launched at the median finish time. The first finisher
+/// wins; the loser's consumed virtual cost is charged to the
+/// `speculative_wasted` counter. Committed outputs are bit-identical either
+/// way — speculation only re-times stragglers.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpeculationConfig {
+    /// A task is speculated when its cost exceeds this multiple of the
+    /// phase's median task cost. Hadoop's LATE paper uses ~1.5.
+    pub slowdown_threshold: f64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        Self {
+            slowdown_threshold: 1.5,
+        }
     }
 }
 
@@ -109,5 +281,76 @@ mod tests {
         assert_eq!(m.failures_for(TaskKind::Map, 3), 2);
         let r = FaultPlan::fail_reduce(1, 1);
         assert_eq!(r.failures_for(TaskKind::Reduce, 1), 1);
+    }
+
+    #[test]
+    fn attempt_fault_lookup_is_keyed_by_task_and_attempt() {
+        let plan = FaultPlan::default()
+            .with_crash(TaskKind::Map, 1, 1)
+            .with_abort(TaskKind::Reduce, 0, 2, 123.0);
+        let f = plan.fault_for(TaskKind::Map, 1, 1).unwrap();
+        assert_eq!(f.abort_at, None);
+        assert!(plan.fault_for(TaskKind::Map, 1, 2).is_none());
+        assert!(plan.fault_for(TaskKind::Map, 0, 1).is_none());
+        let g = plan.fault_for(TaskKind::Reduce, 0, 2).unwrap();
+        assert_eq!(g.abort_at, Some(123.0));
+        assert_eq!(plan.deaths_for(TaskKind::Map, 1), 1);
+        assert_eq!(plan.deaths_for(TaskKind::Reduce, 0), 1);
+    }
+
+    #[test]
+    fn keyed_faults_count_toward_exhaustion() {
+        let plan = FaultPlan {
+            max_attempts: 2,
+            ..FaultPlan::default()
+        }
+        .with_crash(TaskKind::Map, 0, 1)
+        .with_crash(TaskKind::Map, 0, 2);
+        assert!(plan.exhausts_attempts(TaskKind::Map, 0));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_indices() {
+        let plan = FaultPlan::fail_map(99, 2);
+        let err = plan.validate(4, 4).unwrap_err();
+        assert!(err.contains("99"), "{err}");
+        assert!(plan.validate(100, 4).is_ok());
+
+        let plan = FaultPlan::fail_reduce(4, 1);
+        assert!(plan.validate(8, 4).is_err());
+        assert!(plan.validate(8, 5).is_ok());
+
+        let plan = FaultPlan::default().with_abort(TaskKind::Reduce, 7, 1, 10.0);
+        assert!(plan.validate(8, 7).is_err());
+        assert!(plan.validate(8, 8).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_scalars() {
+        let plan = FaultPlan {
+            failure_fraction: 1.5,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(1, 1).is_err());
+        let plan = FaultPlan {
+            max_attempts: 0,
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate(1, 1).is_err());
+        let plan = FaultPlan::default().with_abort(TaskKind::Map, 0, 1, f64::NAN);
+        assert!(plan.validate(1, 1).is_err());
+        let plan = FaultPlan::default().with_crash(TaskKind::Map, 0, 0);
+        assert!(plan.validate(1, 1).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let plan = FaultPlan::fail_map(1, 2).with_abort(TaskKind::Reduce, 0, 1, 55.5);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.map_failures, plan.map_failures);
+        assert_eq!(back.attempt_faults.len(), 1);
+        assert_eq!(back.attempt_faults[0].abort_at, Some(55.5));
+        assert_eq!(back.max_attempts, plan.max_attempts);
     }
 }

@@ -1,14 +1,16 @@
 //! Job configuration and the user-facing programming model: [`Mapper`],
 //! [`Reducer`] / [`PartitionReducer`], [`TaskContext`], and [`Emitter`].
 
+use serde::{Deserialize, Serialize};
+
 use crate::cost::{CostClock, CostModel};
 use crate::counters::Counters;
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, InjectedAbort, SpeculationConfig};
 use crate::loadbalance::ShuffleBalance;
 use crate::progress::EventLog;
 
 /// Kind of a simulated task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TaskKind {
     /// Map-side task.
     Map,
@@ -102,6 +104,11 @@ pub struct JobConfig {
     pub charge_framework_costs: bool,
     /// Deterministic task-failure injection (None = no failures).
     pub faults: Option<FaultPlan>,
+    /// Speculative execution on the virtual clock (None = off): stragglers
+    /// past the configured multiple of the phase's median task cost get a
+    /// backup attempt; the first finisher wins and the loser's cost is
+    /// charged to the `speculative_wasted` counter.
+    pub speculation: Option<SpeculationConfig>,
     /// Opt-in whole-key shuffle balancing: when set, the runtime ignores the
     /// job's partitioner, counts records per key after the map phase, and
     /// places keys on reduce tasks with a weighted LPT greedy instead of
@@ -123,6 +130,7 @@ impl JobConfig {
             worker_threads: None,
             charge_framework_costs: true,
             faults: None,
+            speculation: None,
             shuffle_balance: None,
         }
     }
@@ -156,6 +164,13 @@ pub struct TaskContext {
     pub events: EventLog,
     /// Cost calibration constants.
     pub cost_model: CostModel,
+    /// Which attempt of the task this is (1-based, like Hadoop attempt ids).
+    /// Attempts past 1 mean earlier attempts died and were re-executed.
+    pub attempt: u32,
+    /// Injected fault: the attempt panics (with an
+    /// [`InjectedAbort`] payload the runtime catches) as soon as its virtual
+    /// clock crosses this cost. `None` = run to completion.
+    pub abort_at: Option<f64>,
 }
 
 impl TaskContext {
@@ -167,6 +182,8 @@ impl TaskContext {
             counters: Counters::new(),
             events: EventLog::new(),
             cost_model,
+            attempt: 1,
+            abort_at: None,
         }
     }
 
@@ -174,6 +191,13 @@ impl TaskContext {
     #[inline]
     pub fn charge(&mut self, units: f64) {
         self.clock.charge(units);
+        if let Some(limit) = self.abort_at {
+            if self.clock.now() >= limit {
+                std::panic::panic_any(InjectedAbort {
+                    at: self.clock.now(),
+                });
+            }
+        }
     }
 
     /// Current virtual time of this task.
@@ -234,8 +258,9 @@ pub trait Mapper: Sync {
     type Input: Sync;
     /// Intermediate key. Must be totally ordered for the shuffle sort.
     type Key: Ord + std::hash::Hash + Clone + Send;
-    /// Intermediate value.
-    type Value: Send;
+    /// Intermediate value. `Clone` lets the runtime replay a reduce
+    /// partition when an attempt dies and the task is re-executed.
+    type Value: Send + Clone;
 
     /// Called once per task before any input record. The ER pipeline's
     /// second job generates the progressive schedule here (§III-B).

@@ -117,7 +117,7 @@ pub mod prelude {
     pub use crate::driver::{Driver, StageReport};
     pub use crate::error::MrError;
     pub use crate::extsort::ExternalSorter;
-    pub use crate::faults::FaultPlan;
+    pub use crate::faults::{AttemptFault, FaultPlan, InjectedAbort, SpeculationConfig};
     pub use crate::job::{
         ClusterSpec, Combiner, Emitter, GroupReducer, JobConfig, Mapper, PartitionReducer, Reducer,
         TaskContext, TaskId, TaskKind,

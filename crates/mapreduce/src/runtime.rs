@@ -7,6 +7,21 @@
 //! clocks combined with list scheduling over the simulated cluster's slots
 //! ([`crate::cost::virtual_makespan`]). This separation lets a laptop
 //! faithfully reproduce curves for a 25-machine cluster.
+//!
+//! ## Fault tolerance
+//!
+//! Each simulated task runs as a sequence of *attempts*, exactly like a
+//! Hadoop task: an attempt that panics (genuinely, or through an injected
+//! [`crate::faults::FaultPlan`] abort) is caught, its partial virtual cost
+//! is accounted as wasted, and the task is re-executed with a fresh
+//! [`TaskContext`] — up to the plan's `max_attempts`. Only attempt
+//! exhaustion surfaces [`MrError::TaskFailed`]; a job without a fault plan
+//! keeps the historical single-attempt behaviour where a panic aborts the
+//! job with [`MrError::TaskPanicked`]. With
+//! [`crate::faults::SpeculationConfig`] set, stragglers additionally get a
+//! speculative backup attempt on the virtual clock (LATE heuristic): the
+//! first finisher wins, the loser's consumed cost is charged to the
+//! `speculative_wasted` counter, and committed outputs are unchanged.
 
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -18,6 +33,7 @@ use parking_lot::Mutex;
 use crate::cost::{list_schedule_starts, virtual_makespan};
 use crate::counters::Counters;
 use crate::error::MrError;
+use crate::faults::InjectedAbort;
 use crate::job::{
     Combiner, Emitter, JobConfig, Mapper, PartitionReducer, TaskContext, TaskId, TaskKind,
 };
@@ -125,18 +141,146 @@ fn max_mean_ratio(costs: &[f64]) -> f64 {
     costs.iter().cloned().fold(0.0_f64, f64::max) / mean
 }
 
-/// Run `count` closures (index-addressed) on up to `threads` OS threads,
-/// collecting results in index order. Panics inside a closure are converted
-/// into `MrError::TaskPanicked`.
-fn run_indexed<T: Send>(
+/// One committed simulated task after retries: the surviving attempt's
+/// value, the task's virtual cost split into clean work and wasted
+/// (failed-attempt) time, plus counters and events — the latter already
+/// rebased past the wasted prefix.
+struct TaskRun<T> {
+    value: T,
+    /// Total virtual cost occupied on the task's slot (`clean + wasted`;
+    /// re-timed if a speculative backup won).
+    cost: f64,
+    /// Cost of the surviving attempt alone.
+    clean_cost: f64,
+    /// Virtual time burned by dead attempts before the surviving one.
+    wasted: f64,
+    counters: Counters,
+    events: Vec<ProgressEvent>,
+}
+
+/// Render a caught panic payload for error messages.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(abort) = payload.downcast_ref::<InjectedAbort>() {
+        return format!("injected abort at virtual cost {}", abort.at);
+    }
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
+
+/// Execute one simulated task as attempts `1..=max_attempts`, Hadoop-style.
+///
+/// Every attempt gets a fresh [`TaskContext`]; a caught panic (genuine or
+/// injected via [`crate::faults::FaultPlan::attempt_faults`]) adds the
+/// attempt's partial clock to `wasted` and re-runs. Legacy discard-mode
+/// failures (`failures_for`) run the attempt fully, throw its output away,
+/// and waste `failure_fraction × cost + startup`, preserving the historical
+/// accounting. The surviving attempt's events are shifted past the wasted
+/// prefix and its clock is charged for it, so the task occupies its slot
+/// for `clean + wasted` virtual time.
+fn run_one_task<T>(
+    cfg: &JobConfig,
+    kind: TaskKind,
+    idx: usize,
+    f: &(impl Fn(usize, &mut TaskContext) -> T + Sync),
+) -> Result<TaskRun<T>, MrError> {
+    let budget = cfg.faults.as_ref().map_or(1, |p| p.max_attempts.max(1));
+    let legacy = cfg.faults.as_ref().map_or(0, |p| p.failures_for(kind, idx));
+    let id = TaskId { kind, index: idx };
+    let mut wasted = 0.0_f64;
+    let mut retries = 0u32;
+    let mut last_error = String::from("attempt budget exhausted");
+    for attempt in 1..=budget {
+        let injected = cfg
+            .faults
+            .as_ref()
+            .and_then(|p| p.fault_for(kind, idx, attempt));
+        if let Some(fault) = injected {
+            if fault.abort_at.is_none() {
+                // The attempt dies before doing any work: it still occupied
+                // its slot for the startup.
+                wasted += cfg.cost_model.task_startup;
+                retries += 1;
+                last_error = format!("injected crash at start of attempt {attempt}");
+                continue;
+            }
+        }
+        let mut ctx = TaskContext::new(id, cfg.cost_model.clone());
+        ctx.attempt = attempt;
+        ctx.abort_at = injected.and_then(|fault| fault.abort_at);
+        match catch_unwind(AssertUnwindSafe(|| f(idx, &mut ctx))) {
+            Ok(value) => {
+                if attempt <= legacy {
+                    // Legacy discard-mode failure: the attempt ran fully but
+                    // its output is lost; a fraction of its work plus the
+                    // next attempt's startup is wasted.
+                    let plan = cfg.faults.as_ref().expect("legacy failure without plan");
+                    wasted += plan.failure_fraction * ctx.now() + cfg.cost_model.task_startup;
+                    retries += 1;
+                    last_error = format!("injected failure discarded attempt {attempt}");
+                    continue;
+                }
+                ctx.events.rebase(wasted);
+                // Bypass `TaskContext::charge` so a still-armed `abort_at`
+                // cannot fire outside the catch_unwind above.
+                ctx.clock.charge(wasted);
+                if retries > 0 {
+                    ctx.counters.add("task_retries", u64::from(retries));
+                }
+                if wasted > 0.0 {
+                    ctx.counters
+                        .add("wasted_virtual_cost", wasted.round() as u64);
+                }
+                let cost = ctx.now();
+                return Ok(TaskRun {
+                    value,
+                    cost,
+                    clean_cost: cost - wasted,
+                    wasted,
+                    counters: ctx.counters,
+                    events: ctx.events.into_events(),
+                });
+            }
+            Err(payload) => {
+                // The borrow of `ctx` ended with the unwind; its clock holds
+                // the deterministic virtual time at which the attempt died.
+                wasted += ctx.now();
+                retries += 1;
+                last_error = panic_message(payload.as_ref());
+                if cfg.faults.is_none() {
+                    // No fault plan: keep the historical single-attempt
+                    // contract where any panic aborts the job.
+                    return Err(MrError::TaskPanicked {
+                        task: id.to_string(),
+                        message: last_error,
+                    });
+                }
+            }
+        }
+    }
+    Err(MrError::TaskFailed {
+        task: id.to_string(),
+        attempts: budget,
+        last_error,
+    })
+}
+
+/// Run `count` simulated tasks (index-addressed) on up to `threads` OS
+/// threads, collecting per-task [`TaskRun`]s in index order. Each task
+/// internally retries per the job's fault plan ([`run_one_task`]); the
+/// first task-level error aborts the job.
+fn run_tasks<T: Send>(
+    cfg: &JobConfig,
     count: usize,
     threads: usize,
     kind: TaskKind,
-    f: impl Fn(usize) -> T + Sync,
-) -> Result<Vec<T>, MrError> {
+    f: impl Fn(usize, &mut TaskContext) -> T + Sync,
+) -> Result<Vec<TaskRun<T>>, MrError> {
     let threads = threads.max(1).min(count.max(1));
-    let results: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let panicked: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    let results: Vec<Mutex<Option<TaskRun<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let failed: Mutex<Option<MrError>> = Mutex::new(None);
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -146,17 +290,12 @@ fn run_indexed<T: Send>(
                 if idx >= count {
                     return;
                 }
-                match catch_unwind(AssertUnwindSafe(|| f(idx))) {
-                    Ok(value) => *results[idx].lock() = Some(value),
-                    Err(payload) => {
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "<non-string panic>".into());
-                        let mut slot = panicked.lock();
+                match run_one_task(cfg, kind, idx, &f) {
+                    Ok(run) => *results[idx].lock() = Some(run),
+                    Err(err) => {
+                        let mut slot = failed.lock();
                         if slot.is_none() {
-                            *slot = Some((idx, message));
+                            *slot = Some(err);
                         }
                     }
                 }
@@ -164,17 +303,64 @@ fn run_indexed<T: Send>(
         }
     });
 
-    if let Some((idx, message)) = panicked.into_inner() {
-        let task = TaskId { kind, index: idx };
-        return Err(MrError::TaskPanicked {
-            task: task.to_string(),
-            message,
-        });
+    if let Some(err) = failed.into_inner() {
+        return Err(err);
     }
     Ok(results
         .into_iter()
-        .map(|m| m.into_inner().expect("task result missing without panic"))
+        .map(|m| m.into_inner().expect("task result missing without error"))
         .collect())
+}
+
+/// Speculative execution on the virtual clock (Hadoop's LATE heuristic).
+///
+/// Once the phase's median task has finished (virtual time `median`), every
+/// task projected past `slowdown_threshold × median` gets a backup attempt
+/// launched at `median` that redoes the clean work from scratch. Whichever
+/// attempt finishes first wins; the loser is killed at that moment and its
+/// consumed cost is charged to `speculative_wasted`. Committed outputs are
+/// untouched — speculation can only re-time a straggler, never change what
+/// it produced — and without injected faults a backup can never win
+/// (`median + clean > clean`), so clean runs are bit-identical.
+fn speculate<T>(cfg: &JobConfig, runs: &mut [TaskRun<T>]) -> Counters {
+    let mut counters = Counters::new();
+    let Some(spec) = &cfg.speculation else {
+        return counters;
+    };
+    if runs.len() < 2 {
+        return counters;
+    }
+    let mut costs: Vec<f64> = runs.iter().map(|r| r.cost).collect();
+    costs.sort_by(f64::total_cmp);
+    let median = costs[(costs.len() - 1) / 2];
+    if median <= 0.0 || !spec.slowdown_threshold.is_finite() {
+        return counters;
+    }
+    let threshold = spec.slowdown_threshold * median;
+    for run in runs.iter_mut() {
+        if run.cost <= threshold {
+            continue;
+        }
+        counters.add("speculative_launched", 1);
+        let backup_finish = median + run.clean_cost;
+        if backup_finish < run.cost {
+            // Backup wins; the original attempt is killed at backup_finish
+            // having burned that much slot time.
+            counters.add("speculative_wins", 1);
+            counters.add("speculative_wasted", backup_finish.round() as u64);
+            let shift = median - run.wasted;
+            for e in &mut run.events {
+                e.cost += shift;
+            }
+            run.cost = backup_finish;
+            run.wasted = median;
+        } else {
+            // Original finishes first; the backup is killed at that moment
+            // having run since `median`.
+            counters.add("speculative_wasted", (run.cost - median).round() as u64);
+        }
+    }
+    counters
 }
 
 /// Split `inputs` into `n` contiguous chunks of near-equal length.
@@ -194,52 +380,20 @@ fn split_ranges(len: usize, n: usize) -> Vec<(usize, usize)> {
 
 struct MapTaskOutput<K, V> {
     buckets: Vec<Vec<(K, V)>>,
-    cost: f64,
-    counters: Counters,
-    events: Vec<ProgressEvent>,
     records: u64,
 }
 
-struct ReduceTaskOutput<O> {
-    outputs: Vec<O>,
-    cost: f64,
-    counters: Counters,
-    events: Vec<ProgressEvent>,
-}
-
-/// Account injected failures for one finished task: failed attempts waste
-/// `fraction × cost (+ startup)` each and happen *before* the surviving
-/// attempt, so its events shift right by the wasted time.
-fn apply_faults(cfg: &JobConfig, kind: TaskKind, index: usize, ctx: &mut TaskContext) {
-    let Some(plan) = &cfg.faults else { return };
-    let failures = plan.failures_for(kind, index);
-    if failures == 0 {
-        return;
-    }
-    let attempt_cost = ctx.now();
-    let wasted =
-        failures as f64 * (plan.failure_fraction * attempt_cost + cfg.cost_model.task_startup);
-    ctx.events.rebase(wasted);
-    ctx.charge(wasted);
-    ctx.counters.add("task_retries", u64::from(failures));
-}
-
-/// Validate a fault plan against the task counts before launching.
+/// Validate a fault plan against the task counts before launching: every
+/// referenced task index must exist (a fault aimed at a task the job does
+/// not have is a configuration bug, not a no-op) and the scalar knobs must
+/// be sane. Attempt exhaustion is *not* pre-checked — it surfaces through
+/// the attempt loop itself, like a real cluster.
 fn check_fault_plan(cfg: &JobConfig, num_map: usize, num_reduce: usize) -> Result<(), MrError> {
     let Some(plan) = &cfg.faults else {
         return Ok(());
     };
-    for (kind, count) in [(TaskKind::Map, num_map), (TaskKind::Reduce, num_reduce)] {
-        for index in 0..count {
-            if plan.exhausts_attempts(kind, index) {
-                return Err(MrError::TaskFailed {
-                    task: TaskId { kind, index }.to_string(),
-                    attempts: plan.max_attempts,
-                });
-            }
-        }
-    }
-    Ok(())
+    plan.validate(num_map, num_reduce)
+        .map_err(|msg| MrError::InvalidFaultPlan(format!("job '{}': {msg}", cfg.name)))
 }
 
 /// A combiner that passes values through untouched (used internally when no
@@ -357,28 +511,21 @@ where
 
     // ---- Map phase -------------------------------------------------------
     let ranges = split_ranges(inputs.len(), num_map);
-    let map_outputs: Vec<MapTaskOutput<M::Key, M::Value>> =
-        run_indexed(num_map, threads, TaskKind::Map, |idx| {
+    let mut map_runs: Vec<TaskRun<MapTaskOutput<M::Key, M::Value>>> =
+        run_tasks(cfg, num_map, threads, TaskKind::Map, |idx, ctx| {
             let (start, end) = ranges[idx];
-            let mut ctx = TaskContext::new(
-                TaskId {
-                    kind: TaskKind::Map,
-                    index: idx,
-                },
-                cfg.cost_model.clone(),
-            );
             if cfg.charge_framework_costs {
                 ctx.charge(ctx.cost_model.task_startup);
             }
-            mapper.setup(&mut ctx);
+            mapper.setup(ctx);
             let mut emitter = Emitter::new();
             for input in &inputs[start..end] {
                 if cfg.charge_framework_costs {
                     ctx.charge(ctx.cost_model.read_per_entity);
                 }
-                mapper.map(input, &mut ctx, &mut emitter);
+                mapper.map(input, ctx, &mut emitter);
             }
-            mapper.cleanup(&mut ctx);
+            mapper.cleanup(ctx);
             let records = emitter.len() as u64;
             if cfg.charge_framework_costs {
                 ctx.charge(ctx.cost_model.emit_per_record * records as f64);
@@ -429,23 +576,17 @@ where
                     .add("combiner_output_records", combined_records);
                 records = combined_records;
             }
-            apply_faults(cfg, TaskKind::Map, idx, &mut ctx);
-            MapTaskOutput {
-                buckets,
-                cost: ctx.now(),
-                counters: ctx.counters,
-                events: ctx.events.into_events(),
-                records,
-            }
+            MapTaskOutput { buckets, records }
         })?;
 
-    let shuffle_records: u64 = map_outputs.iter().map(|m| m.records).sum();
-    let map_costs: Vec<f64> = map_outputs.iter().map(|m| m.cost).collect();
+    let mut counters = Counters::new();
+    counters.merge(&speculate(cfg, &mut map_runs));
+    let shuffle_records: u64 = map_runs.iter().map(|m| m.value.records).sum();
+    let map_costs: Vec<f64> = map_runs.iter().map(|m| m.cost).collect();
     let map_phase = PhaseReport::new(map_costs, cfg.cluster.map_slots());
 
-    let mut counters = Counters::new();
     let mut map_events: Vec<ProgressEvent> = Vec::new();
-    for m in &map_outputs {
+    for m in &map_runs {
         counters.merge(&m.counters);
         // Map events are rare (setup-time schedule generation); stamp them at
         // their task-local time plus job startup.
@@ -454,6 +595,8 @@ where
             ..*e
         }));
     }
+    let map_outputs: Vec<MapTaskOutput<M::Key, M::Value>> =
+        map_runs.into_iter().map(|r| r.value).collect();
 
     // ---- Shuffle ---------------------------------------------------------
     // Gather per-partition records from all map tasks, sort by key (stable,
@@ -516,36 +659,32 @@ where
     type Partition<K, V> = Mutex<Option<Vec<(K, Vec<V>)>>>;
     let grouped: Vec<Partition<M::Key, M::Value>> =
         grouped.into_iter().map(|g| Mutex::new(Some(g))).collect();
-    let reduce_outputs: Vec<ReduceTaskOutput<R::Output>> =
-        run_indexed(num_reduce, threads, TaskKind::Reduce, |idx| {
-            let groups = grouped[idx]
-                .lock()
-                .take()
-                .expect("partition consumed twice");
-            let mut ctx = TaskContext::new(
-                TaskId {
-                    kind: TaskKind::Reduce,
-                    index: idx,
-                },
-                cfg.cost_model.clone(),
-            );
+    // With a fault plan a dead attempt may be re-executed, so the partition
+    // must survive the attempt: clone it per attempt instead of moving it.
+    let replayable = cfg.faults.is_some();
+    let mut reduce_runs: Vec<TaskRun<Vec<R::Output>>> =
+        run_tasks(cfg, num_reduce, threads, TaskKind::Reduce, |idx, ctx| {
+            let groups = {
+                let mut slot = grouped[idx].lock();
+                if replayable {
+                    slot.as_ref().expect("partition missing").clone()
+                } else {
+                    slot.take().expect("partition consumed twice")
+                }
+            };
             if cfg.charge_framework_costs {
                 ctx.charge(ctx.cost_model.task_startup);
                 let records: usize = groups.iter().map(|(_, vs)| vs.len()).sum();
                 ctx.charge(ctx.cost_model.shuffle_per_record * records as f64);
             }
             let mut out = Vec::new();
-            reducer.reduce_partition(groups, &mut ctx, &mut out);
-            apply_faults(cfg, TaskKind::Reduce, idx, &mut ctx);
-            ReduceTaskOutput {
-                outputs: out,
-                cost: ctx.now(),
-                counters: ctx.counters,
-                events: ctx.events.into_events(),
-            }
+            reducer.reduce_partition(groups, ctx, &mut out);
+            out
         })?;
+    drop(grouped);
 
-    let reduce_costs: Vec<f64> = reduce_outputs.iter().map(|r| r.cost).collect();
+    counters.merge(&speculate(cfg, &mut reduce_runs));
+    let reduce_costs: Vec<f64> = reduce_runs.iter().map(|r| r.cost).collect();
     let reduce_phase = PhaseReport::new(reduce_costs.clone(), cfg.cluster.reduce_slots());
     // Shuffle-skew counter: max/mean of the reduce-task virtual costs, in
     // thousandths so it fits the u64 counter space (1000 = perfectly even).
@@ -558,17 +697,17 @@ where
 
     let mut timeline = map_events;
     let mut outputs = Vec::new();
-    let mut outputs_per_task = Vec::with_capacity(reduce_outputs.len());
-    for (idx, r) in reduce_outputs.into_iter().enumerate() {
+    let mut outputs_per_task = Vec::with_capacity(reduce_runs.len());
+    for (idx, r) in reduce_runs.into_iter().enumerate() {
         counters.merge(&r.counters);
         timeline.extend(r.events.into_iter().map(|e| ProgressEvent {
             cost: e.cost + reduce_base + reduce_starts[idx],
             ..e
         }));
-        outputs_per_task.push(r.outputs.len());
-        outputs.extend(r.outputs);
+        outputs_per_task.push(r.value.len());
+        outputs.extend(r.value);
     }
-    timeline.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap());
+    timeline.sort_by(|a, b| a.cost.total_cmp(&b.cost));
 
     Ok(JobResult {
         outputs,
@@ -868,6 +1007,166 @@ mod tests {
         for (c, f) in clean.timeline.iter().zip(&faulty.timeline) {
             assert!(f.cost > c.cost, "events must shift later under retries");
         }
+    }
+
+    #[test]
+    fn real_attempt_deaths_are_retried_and_results_unchanged() {
+        use crate::faults::FaultPlan;
+        let inputs: Vec<u64> = (0..500).collect();
+        let clean = run_job(&job(2), &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+
+        // Attempt 1 dies at start, attempt 2 dies once its clock crosses 60
+        // cost units, attempt 3 survives.
+        let mut cfg = job(2);
+        cfg.faults = Some(
+            FaultPlan::default()
+                .with_crash(TaskKind::Reduce, 0, 1)
+                .with_abort(TaskKind::Reduce, 0, 2, 60.0),
+        );
+        let faulty = run_job(&cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+
+        let mut a = clean.outputs.clone();
+        let mut b = faulty.outputs.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "re-executed task must produce identical output");
+        assert_eq!(faulty.counters.get("task_retries"), 2);
+        assert!(faulty.counters.get("wasted_virtual_cost") > 0);
+        assert!(
+            faulty.reduce_phase.task_costs[0] > clean.reduce_phase.task_costs[0],
+            "dead attempts must waste virtual time"
+        );
+        assert_eq!(
+            faulty.reduce_phase.task_costs[1],
+            clean.reduce_phase.task_costs[1]
+        );
+    }
+
+    struct FlakyMapper;
+    impl Mapper for FlakyMapper {
+        type Input = u64;
+        type Key = u64;
+        type Value = u64;
+        fn map(&self, input: &u64, ctx: &mut TaskContext, out: &mut Emitter<u64, u64>) {
+            if ctx.attempt == 1 {
+                panic!("transient fault");
+            }
+            ctx.charge(1.0);
+            out.emit(input % 10, *input);
+        }
+    }
+
+    #[test]
+    fn genuine_panic_below_budget_recovers() {
+        use crate::faults::FaultPlan;
+        let inputs: Vec<u64> = (0..200).collect();
+        let clean = run_job(&job(2), &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+        // A real panic!() on every first attempt: with an attempt budget the
+        // job must survive and match the clean run.
+        let mut cfg = job(2);
+        cfg.faults = Some(FaultPlan::default());
+        let flaky = run_job(&cfg, &FlakyMapper, &GroupReducer::new(SumReducer), &inputs).unwrap();
+        let mut a = clean.outputs.clone();
+        let mut b = flaky.outputs.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(flaky.counters.get("task_retries") >= 1);
+        assert!(flaky.total_virtual_cost > clean.total_virtual_cost);
+    }
+
+    #[test]
+    fn genuine_panic_exhausting_budget_fails_with_last_error() {
+        use crate::faults::FaultPlan;
+        let inputs: Vec<u64> = (0..10).collect();
+        let mut cfg = job(2);
+        cfg.faults = Some(FaultPlan {
+            max_attempts: 3,
+            ..FaultPlan::default()
+        });
+        let err = run_job(
+            &cfg,
+            &PanickyMapper,
+            &GroupReducer::new(CountValues),
+            &inputs,
+        )
+        .unwrap_err();
+        match err {
+            MrError::TaskFailed {
+                attempts,
+                last_error,
+                ..
+            } => {
+                assert_eq!(attempts, 3);
+                assert!(last_error.contains("bad record"), "{last_error}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_fault_entries_are_rejected() {
+        use crate::faults::FaultPlan;
+        let inputs: Vec<u64> = (0..50).collect();
+        let mut cfg = job(1);
+        cfg.faults = Some(FaultPlan::fail_map(99, 2));
+        let err = run_job(&cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap_err();
+        assert!(matches!(err, MrError::InvalidFaultPlan(_)), "{err}");
+        assert!(err.to_string().contains("99"), "{err}");
+
+        let mut cfg = job(1);
+        cfg.faults = Some(FaultPlan::default().with_abort(TaskKind::Reduce, 50, 1, 10.0));
+        let err = run_job(&cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap_err();
+        assert!(matches!(err, MrError::InvalidFaultPlan(_)), "{err}");
+    }
+
+    #[test]
+    fn speculation_is_noop_on_clean_runs() {
+        use crate::faults::SpeculationConfig;
+        let inputs: Vec<u64> = (0..500).collect();
+        let plain = run_job(&job(2), &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+        let mut cfg = job(2);
+        cfg.speculation = Some(SpeculationConfig::default());
+        let spec = run_job(&cfg, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+        assert_eq!(plain.outputs, spec.outputs);
+        assert_eq!(plain.total_virtual_cost, spec.total_virtual_cost);
+        assert_eq!(plain.reduce_phase.task_costs, spec.reduce_phase.task_costs);
+        assert_eq!(spec.counters.get("speculative_wins"), 0);
+    }
+
+    #[test]
+    fn speculation_rescues_a_fault_slowed_straggler() {
+        use crate::faults::{FaultPlan, SpeculationConfig};
+        let inputs: Vec<u64> = (0..2000).collect();
+        let mut faulty = job(2);
+        faulty.faults = Some(FaultPlan::fail_reduce(0, 3));
+        let slow = run_job(&faulty, &KeyMod, &GroupReducer::new(SumReducer), &inputs).unwrap();
+
+        let mut rescued_cfg = faulty.clone();
+        rescued_cfg.speculation = Some(SpeculationConfig::default());
+        let rescued = run_job(
+            &rescued_cfg,
+            &KeyMod,
+            &GroupReducer::new(SumReducer),
+            &inputs,
+        )
+        .unwrap();
+
+        let mut a = slow.outputs.clone();
+        let mut b = rescued.outputs.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "speculation must not change committed outputs");
+        assert!(rescued.counters.get("speculative_launched") >= 1);
+        assert_eq!(rescued.counters.get("speculative_wins"), 1);
+        assert!(rescued.counters.get("speculative_wasted") > 0);
+        assert!(
+            rescued.reduce_phase.task_costs[0] < slow.reduce_phase.task_costs[0],
+            "a winning backup must finish before the fault-slowed original ({} vs {})",
+            rescued.reduce_phase.task_costs[0],
+            slow.reduce_phase.task_costs[0]
+        );
+        assert!(rescued.total_virtual_cost <= slow.total_virtual_cost);
     }
 
     #[test]
