@@ -19,13 +19,7 @@ impl Reducer for Count {
     type Key = u64;
     type Value = u64;
     type Output = (u64, u64);
-    fn reduce(
-        &self,
-        key: &u64,
-        values: Vec<u64>,
-        _ctx: &mut TaskContext,
-        out: &mut Vec<(u64, u64)>,
-    ) {
+    fn reduce(&self, key: &u64, values: &[u64], _ctx: &mut TaskContext, out: &mut Vec<(u64, u64)>) {
         out.push((*key, values.len() as u64));
     }
 }

@@ -44,6 +44,14 @@ impl EntityLookup for HashMap<EntityId, Entity> {
     }
 }
 
+/// Borrowed form: reduce tasks that receive `&[Entity]` views from the flat
+/// shuffle index entities by reference instead of cloning them into the map.
+impl EntityLookup for HashMap<EntityId, &Entity> {
+    fn entity(&self, id: EntityId) -> &Entity {
+        self[&id]
+    }
+}
+
 /// One block in a tree.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Block {

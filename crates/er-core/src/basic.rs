@@ -143,13 +143,13 @@ impl PartitionReducer for BasicReducer<'_> {
 
     fn reduce_partition(
         &self,
-        groups: Vec<(BasicKey, Vec<Keyed>)>,
+        partition: &pper_mapreduce::GroupedPartition<BasicKey, Keyed>,
         ctx: &mut TaskContext,
         out: &mut Vec<(EntityId, EntityId)>,
     ) {
         let mut sim = TaskSimState::new();
-        for (key, values) in groups {
-            self.reduce_block(&key, values, ctx, out, &mut sim);
+        for (key, values) in partition.iter() {
+            self.reduce_block(key, values, ctx, out, &mut sim);
         }
     }
 }
@@ -158,7 +158,7 @@ impl BasicReducer<'_> {
     fn reduce_block(
         &self,
         key: &BasicKey,
-        values: Vec<Keyed>,
+        values: &[Keyed],
         ctx: &mut TaskContext,
         out: &mut Vec<(EntityId, EntityId)>,
         sim: &mut TaskSimState,
@@ -167,14 +167,14 @@ impl BasicReducer<'_> {
             return;
         }
         let family = &self.families[key.1 as usize];
-        let mut entities: std::collections::HashMap<EntityId, Entity> =
+        let mut entities: std::collections::HashMap<EntityId, &Entity> =
             std::collections::HashMap::with_capacity(values.len());
-        let mut key_lists: std::collections::HashMap<EntityId, Vec<(String, u8)>> =
+        let mut key_lists: std::collections::HashMap<EntityId, &[(String, u8)]> =
             std::collections::HashMap::with_capacity(values.len());
         let mut members = Vec::with_capacity(values.len());
         for (e, keys) in values {
             members.push(e.id);
-            key_lists.insert(e.id, keys);
+            key_lists.insert(e.id, keys.as_slice());
             entities.insert(e.id, e);
         }
         members.sort_unstable();

@@ -57,7 +57,7 @@ impl Reducer for StatsReducer<'_> {
     fn reduce(
         &self,
         key: &BlockKey,
-        values: Vec<Entity>,
+        values: &[Entity],
         ctx: &mut TaskContext,
         out: &mut Vec<TreeStats>,
     ) {
@@ -68,12 +68,12 @@ impl Reducer for StatsReducer<'_> {
         let family_index = key.0 as usize;
         let family = &self.families[family_index];
 
-        let mut entities: HashMap<EntityId, Entity> = HashMap::with_capacity(values.len());
+        let mut entities: HashMap<EntityId, &Entity> = HashMap::with_capacity(values.len());
         let mut signatures: HashMap<EntityId, Signature> = HashMap::with_capacity(values.len());
         let mut members = Vec::with_capacity(values.len());
         for e in values {
             members.push(e.id);
-            signatures.insert(e.id, self.families.iter().map(|f| f.root_key(&e)).collect());
+            signatures.insert(e.id, self.families.iter().map(|f| f.root_key(e)).collect());
             entities.insert(e.id, e);
         }
 

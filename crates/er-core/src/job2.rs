@@ -79,9 +79,12 @@ impl Mapper for RouteMapper<'_> {
 }
 
 /// Per-tree reduce-side state.
-struct TreeState {
-    entities: HashMap<EntityId, Entity>,
-    doms: HashMap<EntityId, DomList>,
+/// Per-tree resolve state. Entities and dominance lists stay borrowed from
+/// the job's flat shuffle partition — a task restoring from checkpoint or
+/// re-running after a fault reads the same arena, no copies.
+struct TreeState<'p> {
+    entities: HashMap<EntityId, &'p Entity>,
+    doms: HashMap<EntityId, &'p DomList>,
     /// Pairs already *compared* in this tree (normalized `a < b`), so a
     /// parent block never repeats its children's work (§III-A).
     resolved: HashSet<(EntityId, EntityId)>,
@@ -128,7 +131,7 @@ impl PartitionReducer for ResolveReducer<'_> {
 
     fn reduce_partition(
         &self,
-        groups: Vec<(u64, Vec<Routed>)>,
+        partition: &pper_mapreduce::GroupedPartition<u64, Routed>,
         ctx: &mut TaskContext,
         out: &mut Vec<Job2Out>,
     ) {
@@ -144,8 +147,8 @@ impl PartitionReducer for ResolveReducer<'_> {
             .map(|(t, &sq)| (sq, t))
             .collect();
 
-        let mut states: HashMap<usize, TreeState> = HashMap::new();
-        for (sq, values) in groups {
+        let mut states: HashMap<usize, TreeState<'_>> = HashMap::new();
+        for (&sq, values) in partition.iter() {
             let Some(&tree) = sq_to_tree.get(&sq) else {
                 ctx.counters.incr("job2_unroutable_groups");
                 continue;
@@ -300,12 +303,8 @@ impl PartitionReducer for ResolveReducer<'_> {
                     ctx.counters.incr("pairs_skipped_already_resolved");
                     continue;
                 }
-                let responsible = should_resolve(
-                    &state.doms[&a],
-                    &state.doms[&b],
-                    plan_tree.family,
-                    n_families,
-                );
+                let responsible =
+                    should_resolve(state.doms[&a], state.doms[&b], plan_tree.family, n_families);
                 if !responsible {
                     ctx.counters.incr("pairs_skipped_redundant");
                     continue;

@@ -111,7 +111,7 @@ mod tests {
         type Key = u64;
         type Value = u64;
         type Output = u64;
-        fn reduce(&self, _k: &u64, values: Vec<u64>, ctx: &mut TaskContext, out: &mut Vec<u64>) {
+        fn reduce(&self, _k: &u64, values: &[u64], ctx: &mut TaskContext, out: &mut Vec<u64>) {
             ctx.charge(values.len() as f64);
             ctx.log_event(1, values.len() as u64);
             out.push(values.len() as u64);

@@ -26,6 +26,17 @@ pub enum MrError {
     },
     /// A checkpoint could not be validated or applied during resume.
     Checkpoint(String),
+    /// A [`crate::partition::Partitioner`] returned a partition index
+    /// outside `0..num_reduce` — a placement bug that used to be silently
+    /// clamped to the last reduce task.
+    InvalidPartition {
+        /// Job name.
+        job: String,
+        /// The out-of-range index the partitioner returned.
+        partition: usize,
+        /// Number of reduce tasks the job actually has.
+        num_reduce: usize,
+    },
 }
 
 impl fmt::Display for MrError {
@@ -48,6 +59,17 @@ impl fmt::Display for MrError {
                 )
             }
             MrError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            MrError::InvalidPartition {
+                job,
+                partition,
+                num_reduce,
+            } => {
+                write!(
+                    f,
+                    "job '{job}': partitioner returned partition {partition} \
+                     but the job has only {num_reduce} reduce tasks"
+                )
+            }
         }
     }
 }

@@ -8,6 +8,7 @@ use crate::counters::Counters;
 use crate::faults::{FaultPlan, InjectedAbort, SpeculationConfig};
 use crate::loadbalance::ShuffleBalance;
 use crate::progress::EventLog;
+use crate::shuffle::GroupedPartition;
 
 /// Kind of a simulated task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -256,11 +257,13 @@ impl<K, V> Emitter<K, V> {
 pub trait Mapper: Sync {
     /// One input record.
     type Input: Sync;
-    /// Intermediate key. Must be totally ordered for the shuffle sort.
-    type Key: Ord + std::hash::Hash + Clone + Send;
-    /// Intermediate value. `Clone` lets the runtime replay a reduce
-    /// partition when an attempt dies and the task is re-executed.
-    type Value: Send + Clone;
+    /// Intermediate key. Must be totally ordered for the shuffle sort and
+    /// hashable for shuffle grouping; `Clone` covers combiner fan-out.
+    type Key: Ord + std::hash::Hash + Clone + Send + Sync;
+    /// Intermediate value. Values are never cloned by the runtime: reduce
+    /// attempts (including fault-plan re-executions) borrow the grouped
+    /// partition, so `Clone` is not required.
+    type Value: Send + Sync;
 
     /// Called once per task before any input record. The ER pipeline's
     /// second job generates the progressive schedule here (§III-B).
@@ -283,32 +286,35 @@ pub trait Mapper: Sync {
 /// shuffle volume for aggregatable values.
 pub trait Combiner: Sync {
     /// Intermediate key (must match the mapper's).
-    type Key: Ord + Send;
+    type Key: Ord + Send + Sync;
     /// Intermediate value (must match the mapper's).
-    type Value: Send;
+    type Value: Send + Sync;
 
-    /// Combine the buffered values of one key into (usually fewer) values.
-    fn combine(&self, key: &Self::Key, values: Vec<Self::Value>) -> Vec<Self::Value>;
+    /// Combine the buffered values of one key in place, usually shrinking
+    /// `values`. The buffer is a reusable scratch owned by the runtime:
+    /// whatever remains in it after this call crosses the shuffle.
+    fn combine(&self, key: &Self::Key, values: &mut Vec<Self::Value>);
 }
 
 /// Classic per-group reduce function: called once per distinct key with all
 /// values for that key, in ascending key order.
 pub trait Reducer: Sync {
     /// Intermediate key (must match the mapper's).
-    type Key: Ord + Send;
+    type Key: Ord + Send + Sync;
     /// Intermediate value (must match the mapper's).
-    type Value: Send;
+    type Value: Send + Sync;
     /// Final output record.
     type Output: Send;
 
     /// Called once per task before the first group.
     fn setup(&self, _ctx: &mut TaskContext) {}
 
-    /// Process one key group.
+    /// Process one key group. `values` is a borrowed slice into the
+    /// partition's flat value arena, in map-output order.
     fn reduce(
         &self,
         key: &Self::Key,
-        values: Vec<Self::Value>,
+        values: &[Self::Value],
         ctx: &mut TaskContext,
         out: &mut Vec<Self::Output>,
     );
@@ -318,24 +324,26 @@ pub trait Reducer: Sync {
 }
 
 /// Whole-partition reduce: receives *all* groups of the partition (sorted by
-/// key) in one call.
+/// key) in one call, as a borrowed [`GroupedPartition`] view.
 ///
 /// The paper's second job needs this shape: each reduce task first ingests
 /// all its assigned trees, then resolves blocks in block-schedule order,
 /// interleaving blocks of different trees (§III-A). Hadoop programs simulate
-/// it by buffering inside `reduce()`; we expose it directly.
+/// it by buffering inside `reduce()`; we expose it directly. Borrowing (not
+/// consuming) the partition lets a fault-plan re-execution simply call the
+/// reducer again on the same data — no per-attempt copies.
 pub trait PartitionReducer: Sync {
     /// Intermediate key (must match the mapper's).
-    type Key: Ord + Send;
+    type Key: Ord + Send + Sync;
     /// Intermediate value (must match the mapper's).
-    type Value: Send;
+    type Value: Send + Sync;
     /// Final output record.
     type Output: Send;
 
-    /// Process the whole partition. `groups` is sorted ascending by key.
+    /// Process the whole partition; groups iterate ascending by key.
     fn reduce_partition(
         &self,
-        groups: Vec<(Self::Key, Vec<Self::Value>)>,
+        partition: &GroupedPartition<Self::Key, Self::Value>,
         ctx: &mut TaskContext,
         out: &mut Vec<Self::Output>,
     );
@@ -366,13 +374,13 @@ impl<R: Reducer> PartitionReducer for GroupReducer<R> {
 
     fn reduce_partition(
         &self,
-        groups: Vec<(Self::Key, Vec<Self::Value>)>,
+        partition: &GroupedPartition<Self::Key, Self::Value>,
         ctx: &mut TaskContext,
         out: &mut Vec<Self::Output>,
     ) {
         self.inner.setup(ctx);
-        for (key, values) in groups {
-            self.inner.reduce(&key, values, ctx, out);
+        for (key, values) in partition.iter() {
+            self.inner.reduce(key, values, ctx, out);
         }
         self.inner.cleanup(ctx, out);
     }

@@ -11,7 +11,10 @@
 //! deterministic and hardware-independent:
 //!
 //! * a job is a map phase followed by a shuffle (partition + sort + group)
-//!   and a reduce phase ([`runtime::run_job`]);
+//!   and a reduce phase ([`runtime::run_job`]); the shuffle groups each
+//!   partition into a flat [`shuffle::GroupedPartition`] arena on the worker
+//!   pool and reducers receive borrowed `(&K, &[V])` views — zero per-group
+//!   allocations and no copies on fault-plan re-execution;
 //! * the cluster is modelled as `machines × slots_per_machine` parallel task
 //!   slots ([`job::ClusterSpec`]); when there are more tasks than slots the
 //!   virtual makespan is computed with list scheduling, exactly like Hadoop's
@@ -78,7 +81,7 @@
 //!     fn reduce(
 //!         &self,
 //!         key: &String,
-//!         values: Vec<u64>,
+//!         values: &[u64],
 //!         ctx: &mut TaskContext,
 //!         out: &mut Vec<(String, u64)>,
 //!     ) {
@@ -108,6 +111,7 @@ pub mod loadbalance;
 pub mod partition;
 pub mod progress;
 pub mod runtime;
+pub mod shuffle;
 pub mod spill;
 
 /// Convenience re-exports covering the whole public surface.
@@ -133,7 +137,9 @@ pub mod prelude {
     pub use crate::progress::{EventLog, IncrementalWriter, ProgressEvent, Segment};
     pub use crate::runtime::{
         run_job, run_job_with_combiner, run_job_with_partitioner, JobResult, PhaseReport,
+        WallPhases,
     };
+    pub use crate::shuffle::{shuffle_partitions, GroupedPartition};
 }
 
 pub use prelude::*;

@@ -43,6 +43,7 @@ use crate::fxhash::hash_one;
 use crate::job::{Emitter, JobConfig, Mapper, PartitionReducer, TaskContext};
 use crate::partition::{AssignedPartitioner, IndexPartitioner, Partitioner};
 use crate::runtime::{run_job_with_partitioner, JobResult};
+use crate::shuffle::GroupedPartition;
 
 /// `n·(n−1)/2`: comparisons a block of `n` entities requires.
 pub fn pair_count(n: usize) -> u64 {
@@ -522,17 +523,22 @@ where
         }
     }
 
-    /// All pairs among `vals`, in ascending position order.
+    /// All pairs among `vals`, in ascending position order. `scratch` is a
+    /// task-local sort buffer reused across groups so the borrowed partition
+    /// is never copied wholesale.
     fn all_pairs(
         &self,
         cmp: &mut C,
-        mut vals: Vec<PairVal>,
+        vals: &[PairVal],
+        scratch: &mut Vec<PairVal>,
         ctx: &mut TaskContext,
         out: &mut Vec<(u32, u32)>,
     ) {
-        vals.sort_unstable_by_key(|v| v.1);
-        for (i, a) in vals.iter().enumerate() {
-            for b in &vals[i + 1..] {
+        scratch.clear();
+        scratch.extend_from_slice(vals);
+        scratch.sort_unstable_by_key(|v| v.1);
+        for (i, a) in scratch.iter().enumerate() {
+            for b in &scratch[i + 1..] {
                 self.compare(cmp, a.2, b.2, ctx, out);
             }
         }
@@ -551,25 +557,26 @@ where
 
     fn reduce_partition(
         &self,
-        groups: Vec<(u64, Vec<PairVal>)>,
+        partition: &GroupedPartition<u64, PairVal>,
         ctx: &mut TaskContext,
         out: &mut Vec<(u32, u32)>,
     ) {
         // One comparator per reduce task: its captured state (e.g. prepared
         // signature caches) lives exactly as long as the task.
         let mut cmp = (self.comparator)();
-        for (key, vals) in groups {
+        let mut scratch: Vec<PairVal> = Vec::new();
+        for (&key, vals) in partition.iter() {
             match self.exec {
-                ExecPlan::Hash => self.all_pairs(&mut cmp, vals, ctx, out),
+                ExecPlan::Hash => self.all_pairs(&mut cmp, vals, &mut scratch, ctx, out),
                 ExecPlan::BlockSplit(plan) => match plan.tasks[key as usize] {
                     MatchTask::Whole { .. } | MatchTask::SelfSub { .. } => {
-                        self.all_pairs(&mut cmp, vals, ctx, out)
+                        self.all_pairs(&mut cmp, vals, &mut scratch, ctx, out)
                     }
                     MatchTask::Cross { block, i, j } => {
                         let m = plan.subs[block as usize];
                         let mut left: Vec<PairVal> = Vec::new();
                         let mut right: Vec<PairVal> = Vec::new();
-                        for v in vals {
+                        for &v in vals {
                             if v.1 % m == i {
                                 left.push(v);
                             } else {
@@ -592,7 +599,7 @@ where
                     let range_hi = ((t + 1) * plan.range_len).min(plan.total);
                     // Position → input index per block present in this range.
                     let mut by_block: HashMap<u32, HashMap<u32, u32>> = HashMap::new();
-                    for (block, pos, idx) in vals {
+                    for &(block, pos, idx) in vals {
                         by_block.entry(block).or_default().insert(pos, idx);
                     }
                     let mut blocks: Vec<u32> = by_block.keys().copied().collect();

@@ -23,7 +23,7 @@
 //! first finisher wins, the loser's consumed cost is charged to the
 //! `speculative_wasted` counter, and committed outputs are unchanged.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -40,6 +40,7 @@ use crate::job::{
 use crate::loadbalance::lpt_assign;
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::progress::ProgressEvent;
+use crate::shuffle::{shuffle_partitions, GroupedPartition, PartitionBuckets};
 
 /// Virtual-time summary of one phase (map or reduce).
 #[derive(Debug, Clone)]
@@ -79,6 +80,20 @@ impl PhaseReport {
     }
 }
 
+/// Wall-clock time spent in each phase of a run. Informational only — all
+/// experiment results derive from virtual time — but it shows where *real*
+/// time goes, which is what shuffle/runtime perf work optimizes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallPhases {
+    /// Map task execution (including map-side combining).
+    pub map: Duration,
+    /// Shuffle: record routing plus the pooled sort/group into flat
+    /// partitions.
+    pub shuffle: Duration,
+    /// Reduce task execution.
+    pub reduce: Duration,
+}
+
 /// Everything a completed job reports.
 #[derive(Debug)]
 pub struct JobResult<O> {
@@ -100,6 +115,8 @@ pub struct JobResult<O> {
     /// Actual wall-clock execution time (informational; all experiment
     /// results use virtual time).
     pub wall_clock: Duration,
+    /// Wall-clock breakdown of `wall_clock` by phase.
+    pub wall_phases: WallPhases,
     /// Number of intermediate records that crossed the shuffle.
     pub shuffle_records: u64,
 }
@@ -406,12 +423,10 @@ impl<K, V> Default for IdentityCombiner<K, V> {
     }
 }
 
-impl<K: Ord + Send, V: Send> Combiner for IdentityCombiner<K, V> {
+impl<K: Ord + Send + Sync, V: Send + Sync> Combiner for IdentityCombiner<K, V> {
     type Key = K;
     type Value = V;
-    fn combine(&self, _key: &K, values: Vec<V>) -> Vec<V> {
-        values
-    }
+    fn combine(&self, _key: &K, _values: &mut Vec<V>) {}
 }
 
 /// Run a job with the default [`HashPartitioner`].
@@ -511,73 +526,114 @@ where
 
     // ---- Map phase -------------------------------------------------------
     let ranges = split_ranges(inputs.len(), num_map);
-    let mut map_runs: Vec<TaskRun<MapTaskOutput<M::Key, M::Value>>> =
-        run_tasks(cfg, num_map, threads, TaskKind::Map, |idx, ctx| {
-            let (start, end) = ranges[idx];
+    let raw_map_runs = run_tasks(cfg, num_map, threads, TaskKind::Map, |idx, ctx| {
+        let (start, end) = ranges[idx];
+        if cfg.charge_framework_costs {
+            ctx.charge(ctx.cost_model.task_startup);
+        }
+        mapper.setup(ctx);
+        let mut emitter = Emitter::new();
+        for input in &inputs[start..end] {
             if cfg.charge_framework_costs {
-                ctx.charge(ctx.cost_model.task_startup);
+                ctx.charge(ctx.cost_model.read_per_entity);
             }
-            mapper.setup(ctx);
-            let mut emitter = Emitter::new();
-            for input in &inputs[start..end] {
-                if cfg.charge_framework_costs {
-                    ctx.charge(ctx.cost_model.read_per_entity);
-                }
-                mapper.map(input, ctx, &mut emitter);
-            }
-            mapper.cleanup(ctx);
-            let records = emitter.len() as u64;
-            if cfg.charge_framework_costs {
-                ctx.charge(ctx.cost_model.emit_per_record * records as f64);
-            }
-            // Balanced shuffles defer partitioning until the key
-            // distribution is known (after the map phase), so their map
-            // tasks keep everything in one bucket.
-            let bucket_count = if cfg.shuffle_balance.is_some() {
-                1
+            mapper.map(input, ctx, &mut emitter);
+        }
+        mapper.cleanup(ctx);
+        let records = emitter.len() as u64;
+        if cfg.charge_framework_costs {
+            ctx.charge(ctx.cost_model.emit_per_record * records as f64);
+        }
+        // Balanced shuffles defer partitioning until the key
+        // distribution is known (after the map phase), so their map
+        // tasks keep everything in one bucket.
+        let bucket_count = if cfg.shuffle_balance.is_some() {
+            1
+        } else {
+            num_reduce
+        };
+        let mut buckets: Vec<Vec<(M::Key, M::Value)>> =
+            (0..bucket_count).map(|_| Vec::new()).collect();
+        for (k, v) in emitter.into_records() {
+            let p = if bucket_count == 1 {
+                0
             } else {
-                num_reduce
-            };
-            let mut buckets: Vec<Vec<(M::Key, M::Value)>> =
-                (0..bucket_count).map(|_| Vec::new()).collect();
-            for (k, v) in emitter.into_records() {
-                let p = if bucket_count == 1 {
-                    0
-                } else {
-                    partitioner.partition(&k, num_reduce).min(num_reduce - 1)
-                };
-                buckets[p].push((k, v));
-            }
-            let mut records = records;
-            if let Some(combiner) = combiner {
-                // Map-side pre-aggregation: sort + group + combine each
-                // bucket before it crosses the shuffle.
-                let mut combined_records = 0u64;
-                for bucket in &mut buckets {
-                    let mut taken = std::mem::take(bucket);
-                    taken.sort_by(|a, b| a.0.cmp(&b.0));
-                    ctx.charge(ctx.cost_model.sort_cost(taken.len()));
-                    let mut out: Vec<(M::Key, M::Value)> = Vec::with_capacity(taken.len());
-                    let mut iter = taken.into_iter().peekable();
-                    while let Some((key, first)) = iter.next() {
-                        let mut values = vec![first];
-                        while iter.peek().is_some_and(|(k, _)| *k == key) {
-                            values.push(iter.next().expect("peeked").1);
-                        }
-                        for v in combiner.combine(&key, values) {
-                            out.push((key.clone(), v));
-                        }
-                    }
-                    combined_records += out.len() as u64;
-                    *bucket = out;
+                let p = partitioner.partition(&k, num_reduce);
+                if p >= num_reduce {
+                    return Err(MrError::InvalidPartition {
+                        job: cfg.name.clone(),
+                        partition: p,
+                        num_reduce,
+                    });
                 }
-                ctx.counters.add("combiner_input_records", records);
-                ctx.counters
-                    .add("combiner_output_records", combined_records);
-                records = combined_records;
+                p
+            };
+            buckets[p].push((k, v));
+        }
+        let mut records = records;
+        if let Some(combiner) = combiner {
+            // Map-side pre-aggregation: sort + group + combine each
+            // bucket before it crosses the shuffle. One scratch buffer
+            // serves every group, and the group's key is moved into its
+            // last output record — cloned only for extra fan-out.
+            let mut combined_records = 0u64;
+            let mut scratch: Vec<M::Value> = Vec::new();
+            for bucket in &mut buckets {
+                let mut taken = std::mem::take(bucket);
+                taken.sort_by(|a, b| a.0.cmp(&b.0));
+                ctx.charge(ctx.cost_model.sort_cost(taken.len()));
+                let mut out: Vec<(M::Key, M::Value)> = Vec::with_capacity(taken.len());
+                let mut iter = taken.into_iter().peekable();
+                while let Some((key, first)) = iter.next() {
+                    scratch.push(first);
+                    while iter.peek().is_some_and(|(k, _)| *k == key) {
+                        scratch.push(iter.next().expect("peeked").1);
+                    }
+                    combiner.combine(&key, &mut scratch);
+                    let kept = scratch.len();
+                    let mut key = Some(key);
+                    for (i, v) in scratch.drain(..).enumerate() {
+                        let k = if i + 1 == kept {
+                            key.take().expect("combiner key moved twice")
+                        } else {
+                            key.as_ref().expect("combiner key").clone()
+                        };
+                        out.push((k, v));
+                    }
+                }
+                combined_records += out.len() as u64;
+                *bucket = out;
             }
-            MapTaskOutput { buckets, records }
-        })?;
+            ctx.counters.add("combiner_input_records", records);
+            ctx.counters
+                .add("combiner_output_records", combined_records);
+            records = combined_records;
+        }
+        Ok(MapTaskOutput { buckets, records })
+    })?;
+    // Surface the first deterministic task-level error (e.g. an
+    // out-of-range partitioner) in task-index order.
+    let mut map_runs: Vec<TaskRun<MapTaskOutput<M::Key, M::Value>>> =
+        Vec::with_capacity(raw_map_runs.len());
+    for run in raw_map_runs {
+        let TaskRun {
+            value,
+            cost,
+            clean_cost,
+            wasted,
+            counters,
+            events,
+        } = run;
+        map_runs.push(TaskRun {
+            value: value?,
+            cost,
+            clean_cost,
+            wasted,
+            counters,
+            events,
+        });
+    }
+    let wall_map = started.elapsed();
 
     let mut counters = Counters::new();
     counters.merge(&speculate(cfg, &mut map_runs));
@@ -599,89 +655,89 @@ where
         map_runs.into_iter().map(|r| r.value).collect();
 
     // ---- Shuffle ---------------------------------------------------------
-    // Gather per-partition records from all map tasks, sort by key (stable,
-    // preserving map-task order among equal keys — Hadoop's merge is also
-    // stable per map output), then group runs of equal keys.
-    let mut partitions: Vec<Vec<(M::Key, M::Value)>> =
-        (0..num_reduce).map(|_| Vec::new()).collect();
-    if let Some(balance) = cfg.shuffle_balance {
-        // Whole-key balanced scatter: weigh each distinct key under the
-        // configured model and place keys on reduce tasks heaviest-first
-        // (LPT). BTreeMap iteration gives a deterministic plan.
-        let mut key_records: BTreeMap<&M::Key, u64> = BTreeMap::new();
-        for m in &map_outputs {
-            for bucket in &m.buckets {
-                for (k, _) in bucket {
-                    *key_records.entry(k).or_insert(0) += 1;
+    // Route every record to its reduce partition (moving Vec handles in the
+    // plain path, whole-key LPT placement when balancing), then sort+group
+    // each partition into its flat arena on the worker pool. Grouping is
+    // stable on (key, map-output order), reproducing the old driver-thread
+    // stable sort bit for bit — see [`crate::shuffle`].
+    let per_partition: Vec<PartitionBuckets<M::Key, M::Value>> =
+        if let Some(balance) = cfg.shuffle_balance {
+            // Whole-key balanced scatter: weigh each distinct key under the
+            // configured model and place keys on reduce tasks heaviest-first
+            // (LPT). BTreeMap iteration gives a deterministic plan. The routing
+            // table borrows keys still sitting in the map outputs, so each
+            // record's target is resolved by index before anything moves — no
+            // key clones.
+            let mut key_records: BTreeMap<&M::Key, u64> = BTreeMap::new();
+            for m in &map_outputs {
+                for bucket in &m.buckets {
+                    for (k, _) in bucket {
+                        *key_records.entry(k).or_insert(0) += 1;
+                    }
                 }
             }
-        }
-        let weights: Vec<u64> = key_records.values().map(|&c| balance.weight(c)).collect();
-        let assign = lpt_assign(&weights, num_reduce);
-        let table: HashMap<M::Key, usize> = key_records
-            .keys()
-            .zip(assign)
-            .map(|(k, p)| ((*k).clone(), p))
-            .collect();
-        for m in map_outputs {
-            for bucket in m.buckets {
-                for (k, v) in bucket {
-                    // Every key was counted above, so the table is total.
-                    let p = table[&k].min(num_reduce - 1);
-                    partitions[p].push((k, v));
+            let weights: Vec<u64> = key_records.values().map(|&c| balance.weight(c)).collect();
+            let assign = lpt_assign(&weights, num_reduce);
+            let table: BTreeMap<&M::Key, usize> = key_records.keys().copied().zip(assign).collect();
+            let routes: Vec<Vec<usize>> = map_outputs
+                .iter()
+                .map(|m| {
+                    m.buckets
+                        .iter()
+                        .flatten()
+                        // Every key was counted above, so the table is total.
+                        .map(|(k, _)| *table.get(k).expect("key counted above"))
+                        .collect()
+                })
+                .collect();
+            drop(table);
+            drop(key_records);
+            let mut counts = vec![0usize; num_reduce];
+            for &p in routes.iter().flatten() {
+                counts[p] += 1;
+            }
+            let mut scattered: Vec<Vec<(M::Key, M::Value)>> =
+                counts.into_iter().map(Vec::with_capacity).collect();
+            for (m, route) in map_outputs.into_iter().zip(routes) {
+                for ((k, v), p) in m.buckets.into_iter().flatten().zip(route) {
+                    scattered[p].push((k, v));
                 }
             }
-        }
-    } else {
-        for m in map_outputs {
-            for (p, bucket) in m.buckets.into_iter().enumerate() {
-                partitions[p].extend(bucket);
-            }
-        }
-    }
-    type Grouped<K, V> = Vec<(K, Vec<V>)>;
-    let grouped: Vec<Grouped<M::Key, M::Value>> = partitions
-        .into_iter()
-        .map(|mut records| {
-            records.sort_by(|a, b| a.0.cmp(&b.0));
-            let mut groups: Grouped<M::Key, M::Value> = Vec::new();
-            for (k, v) in records {
-                match groups.last_mut() {
-                    Some((gk, gvs)) if *gk == k => gvs.push(v),
-                    _ => groups.push((k, vec![v])),
+            scattered.into_iter().map(|b| vec![b]).collect()
+        } else {
+            // Plain path: map tasks already bucketed per partition; the
+            // transpose moves Vec handles only, never records.
+            let mut per: Vec<PartitionBuckets<M::Key, M::Value>> = (0..num_reduce)
+                .map(|_| Vec::with_capacity(map_outputs.len()))
+                .collect();
+            for m in map_outputs {
+                for (p, bucket) in m.buckets.into_iter().enumerate() {
+                    per[p].push(bucket);
                 }
             }
-            groups
-        })
-        .collect();
+            per
+        };
+    let grouped: Vec<GroupedPartition<M::Key, M::Value>> =
+        shuffle_partitions(per_partition, threads);
+    let wall_shuffle = started.elapsed().saturating_sub(wall_map);
 
     // ---- Reduce phase ----------------------------------------------------
-    type Partition<K, V> = Mutex<Option<Vec<(K, Vec<V>)>>>;
-    let grouped: Vec<Partition<M::Key, M::Value>> =
-        grouped.into_iter().map(|g| Mutex::new(Some(g))).collect();
-    // With a fault plan a dead attempt may be re-executed, so the partition
-    // must survive the attempt: clone it per attempt instead of moving it.
-    let replayable = cfg.faults.is_some();
+    // Every attempt borrows its flat partition, so fault-plan re-execution
+    // replays for free — no per-attempt copies, and fault-free runs never
+    // copy at all.
     let mut reduce_runs: Vec<TaskRun<Vec<R::Output>>> =
         run_tasks(cfg, num_reduce, threads, TaskKind::Reduce, |idx, ctx| {
-            let groups = {
-                let mut slot = grouped[idx].lock();
-                if replayable {
-                    slot.as_ref().expect("partition missing").clone()
-                } else {
-                    slot.take().expect("partition consumed twice")
-                }
-            };
+            let partition = &grouped[idx];
             if cfg.charge_framework_costs {
                 ctx.charge(ctx.cost_model.task_startup);
-                let records: usize = groups.iter().map(|(_, vs)| vs.len()).sum();
-                ctx.charge(ctx.cost_model.shuffle_per_record * records as f64);
+                ctx.charge(ctx.cost_model.shuffle_per_record * partition.num_records() as f64);
             }
             let mut out = Vec::new();
-            reducer.reduce_partition(groups, ctx, &mut out);
+            reducer.reduce_partition(partition, ctx, &mut out);
             out
         })?;
     drop(grouped);
+    let wall_reduce = started.elapsed().saturating_sub(wall_map + wall_shuffle);
 
     counters.merge(&speculate(cfg, &mut reduce_runs));
     let reduce_costs: Vec<f64> = reduce_runs.iter().map(|r| r.cost).collect();
@@ -718,6 +774,11 @@ where
         reduce_phase,
         timeline,
         wall_clock: started.elapsed(),
+        wall_phases: WallPhases {
+            map: wall_map,
+            shuffle: wall_shuffle,
+            reduce: wall_reduce,
+        },
         shuffle_records,
     })
 }
@@ -746,7 +807,7 @@ mod tests {
         fn reduce(
             &self,
             key: &u64,
-            values: Vec<u64>,
+            values: &[u64],
             ctx: &mut TaskContext,
             out: &mut Vec<(u64, u64)>,
         ) {
@@ -855,7 +916,7 @@ mod tests {
             fn reduce(
                 &self,
                 _key: &u64,
-                values: Vec<u64>,
+                values: &[u64],
                 ctx: &mut TaskContext,
                 _out: &mut Vec<()>,
             ) {
@@ -876,8 +937,10 @@ mod tests {
     impl Combiner for SumCombiner {
         type Key = u64;
         type Value = u64;
-        fn combine(&self, _key: &u64, values: Vec<u64>) -> Vec<u64> {
-            vec![values.into_iter().sum()]
+        fn combine(&self, _key: &u64, values: &mut Vec<u64>) {
+            let sum: u64 = values.iter().sum();
+            values.clear();
+            values.push(sum);
         }
     }
 
@@ -889,7 +952,7 @@ mod tests {
         fn reduce(
             &self,
             key: &u64,
-            values: Vec<u64>,
+            values: &[u64],
             ctx: &mut TaskContext,
             out: &mut Vec<(u64, u64)>,
         ) {
@@ -989,7 +1052,7 @@ mod tests {
             fn reduce(
                 &self,
                 _key: &u64,
-                values: Vec<u64>,
+                values: &[u64],
                 ctx: &mut TaskContext,
                 _out: &mut Vec<()>,
             ) {
@@ -1180,6 +1243,7 @@ mod tests {
             timeline: vec![],
             total_virtual_cost: 0.0,
             wall_clock: Duration::ZERO,
+            wall_phases: WallPhases::default(),
             shuffle_records: 0,
         };
         assert_eq!(balanced.reduce_skew(), 0.0);
@@ -1188,6 +1252,44 @@ mod tests {
             ..balanced
         };
         assert!(skewed.reduce_skew() > 1.0);
+    }
+
+    #[test]
+    fn out_of_range_partition_is_an_error_not_a_clamp() {
+        struct OffByOne;
+        impl Partitioner<u64> for OffByOne {
+            fn partition(&self, _key: &u64, num_reduce: usize) -> usize {
+                num_reduce // one past the end — used to be clamped silently
+            }
+        }
+        let inputs: Vec<u64> = (0..10).collect();
+        let err = run_job_with_partitioner(
+            &job(2),
+            &KeyMod,
+            &GroupReducer::new(CountValues),
+            &OffByOne,
+            &inputs,
+        )
+        .unwrap_err();
+        match err {
+            MrError::InvalidPartition {
+                job,
+                partition,
+                num_reduce,
+            } => {
+                assert_eq!(job, "test");
+                assert_eq!(partition, num_reduce);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn wall_phases_sum_within_wall_clock() {
+        let inputs: Vec<u64> = (0..500).collect();
+        let r = run_job(&job(2), &KeyMod, &GroupReducer::new(CountValues), &inputs).unwrap();
+        let phases = r.wall_phases.map + r.wall_phases.shuffle + r.wall_phases.reduce;
+        assert!(phases <= r.wall_clock, "{phases:?} > {:?}", r.wall_clock);
     }
 
     #[test]

@@ -165,7 +165,7 @@ fn whole_key_balancing_preserves_job_semantics() {
         fn reduce(
             &self,
             key: &String,
-            values: Vec<u64>,
+            values: &[u64],
             ctx: &mut TaskContext,
             out: &mut Vec<(String, u64)>,
         ) {

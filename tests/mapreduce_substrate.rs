@@ -26,7 +26,7 @@ impl Reducer for Sum {
     fn reduce(
         &self,
         key: &String,
-        values: Vec<u64>,
+        values: &[u64],
         ctx: &mut TaskContext,
         out: &mut Vec<(String, u64)>,
     ) {
@@ -39,8 +39,10 @@ struct SumCombiner;
 impl Combiner for SumCombiner {
     type Key = String;
     type Value = u64;
-    fn combine(&self, _key: &String, values: Vec<u64>) -> Vec<u64> {
-        vec![values.into_iter().sum()]
+    fn combine(&self, _key: &String, values: &mut Vec<u64>) {
+        let sum: u64 = values.iter().sum();
+        values.clear();
+        values.push(sum);
     }
 }
 
