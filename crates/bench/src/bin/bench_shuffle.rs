@@ -32,6 +32,8 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // lint:allow(relaxed) standalone event counter: only the final total
+        // is read, after the threads join, so no ordering is needed.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
@@ -41,6 +43,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // lint:allow(relaxed) standalone event counter, same as alloc above.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -50,6 +53,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
+    // lint:allow(relaxed) read between benchmark phases on the only thread
+    // still running; thread::scope joins already ordered prior counts.
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 

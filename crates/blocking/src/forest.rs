@@ -245,12 +245,12 @@ pub fn build_forests(ds: &Dataset, families: &[BlockingFamily]) -> Vec<Forest> {
         .iter()
         .enumerate()
         .map(|(fi, family)| {
-            let mut groups: HashMap<String, Vec<EntityId>> = HashMap::new();
+            let mut by_key: HashMap<String, Vec<EntityId>> = HashMap::new();
             for e in &ds.entities {
-                groups.entry(family.root_key(e)).or_default().push(e.id);
+                by_key.entry(family.root_key(e)).or_default().push(e.id);
             }
-            let mut keys: Vec<String> = groups
-                .iter()
+            let mut keys: Vec<String> = by_key
+                .iter() // lint:allow(hash_iter) keys are sorted before use, right below
                 .filter(|(_, v)| v.len() >= 2)
                 .map(|(k, _)| k.clone())
                 .collect();
@@ -258,7 +258,7 @@ pub fn build_forests(ds: &Dataset, families: &[BlockingFamily]) -> Vec<Forest> {
             let trees = keys
                 .into_iter()
                 .map(|key| {
-                    let members = groups.remove(&key).expect("key from groups");
+                    let members = by_key.remove(&key).expect("key from groups");
                     Tree::build(fi, family, key, members, ds)
                 })
                 .collect();

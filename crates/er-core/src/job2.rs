@@ -184,6 +184,9 @@ impl PartitionReducer for ResolveReducer<'_> {
                 .add("resume_replay_cost", ctx.now().round() as u64);
             // Restore the resolved-pair sets so blocks resolved after the
             // resume still skip work the checkpointed blocks already did.
+            // lint:allow(hash_iter) `tc.resolved` is the checkpoint's Vec
+            // (same name as the per-tree HashSet field, but a sorted list);
+            // and extending disjoint per-tree sets commutes anyway.
             for &(tree, ref pairs) in &tc.resolved {
                 if let Some(state) = states.get_mut(&tree) {
                     state.resolved.extend(pairs.iter().copied());
@@ -250,7 +253,7 @@ impl PartitionReducer for ResolveReducer<'_> {
             // level key sufficient).
             let mut members: Vec<EntityId> = state
                 .entities
-                .values()
+                .values() // lint:allow(hash_iter) members are sorted before use, right below
                 .filter(|e| family.key_at(e, node.level) == node.key)
                 .map(|e| e.id)
                 .collect();
@@ -355,6 +358,7 @@ impl PartitionReducer for ResolveReducer<'_> {
                 .iter()
                 .filter(|(_, s)| !s.resolved.is_empty())
                 .map(|(&tree, s)| {
+                    // lint:allow(hash_iter) set order discarded by the sort below.
                     let mut pairs: Vec<_> = s.resolved.iter().copied().collect();
                     pairs.sort_unstable();
                     (tree, pairs)

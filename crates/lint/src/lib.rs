@@ -1,0 +1,142 @@
+//! `pper-lint`: determinism & concurrency invariants as named, allowlistable
+//! static-analysis rules.
+//!
+//! The repo's headline guarantee — bit-identical results across thread
+//! counts, fault plans, and resume points — rests on invariants that unit
+//! tests only probe indirectly: no hash-order iteration feeding an emit, no
+//! wall-clock reads on virtual-time paths, justified relaxed atomics, and
+//! `MrError`-routed failures in the runtime hot paths. This crate checks
+//! those invariants on every file of the workspace; see [`rules`] for the
+//! rule table and the `lint:allow` annotation grammar.
+//!
+//! Run it as `cargo run -p pper-lint -- crates/` (add `--format json` for
+//! CI). The binary exits nonzero on any unsuppressed diagnostic.
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, Diagnostic, RULE_IDS};
+
+/// Recursively collect the `.rs` files under `root` (or `root` itself for a
+/// file), skipping build output, VCS metadata, and lint test fixtures.
+/// Results are sorted so diagnostics are emitted in a stable order.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        if dir.is_file() {
+            if dir.extension().is_some_and(|e| e == "rs") {
+                files.push(dir);
+            }
+            continue;
+        }
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+            // Root paths like `.` or `/` have no final component; descend.
+            for entry in std::fs::read_dir(&dir)? {
+                stack.push(entry?.path());
+            }
+            continue;
+        };
+        if name == "target" || name == ".git" || name == "fixtures" {
+            continue;
+        }
+        for entry in std::fs::read_dir(&dir)? {
+            stack.push(entry?.path());
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint every `.rs` file under the given roots. Unreadable files surface as
+/// an `io` pseudo-diagnostic rather than aborting the run.
+pub fn lint_tree(roots: &[PathBuf]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for root in roots {
+        let files = match collect_rs_files(root) {
+            Ok(files) => files,
+            Err(err) => {
+                diags.push(Diagnostic {
+                    file: root.display().to_string(),
+                    line: 0,
+                    rule: "io".into(),
+                    message: format!("cannot walk: {err}"),
+                });
+                continue;
+            }
+        };
+        for file in files {
+            let path = file.display().to_string();
+            match std::fs::read_to_string(&file) {
+                Ok(src) => diags.extend(lint_source(&path, &src)),
+                Err(err) => diags.push(Diagnostic {
+                    file: path,
+                    line: 0,
+                    rule: "io".into(),
+                    message: format!("cannot read: {err}"),
+                }),
+            }
+        }
+    }
+    diags.sort();
+    diags
+}
+
+/// Render diagnostics as a JSON array (stable field order, no trailing
+/// newline) for `--format json` consumers.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let items: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                escape(&d.file),
+                d.line,
+                escape(&d.rule),
+                escape(&d.message)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let diags = vec![Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 7,
+            rule: "relaxed".into(),
+            message: "line1\nline2".into(),
+        }];
+        let json = to_json(&diags);
+        assert_eq!(
+            json,
+            "[{\"file\":\"a\\\"b.rs\",\"line\":7,\"rule\":\"relaxed\",\"message\":\"line1\\nline2\"}]"
+        );
+    }
+
+    #[test]
+    fn empty_diags_render_as_empty_array() {
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,12 @@
+//@ path: crates/mapreduce/src/fixture.rs
+//! Annotation validation: unknown rule names and missing reasons are
+//! themselves diagnostics, so stale or lazy allows cannot accumulate.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn tick() -> usize {
+    // lint:allow(hash_itr) typo in the rule name
+    // lint:allow(relaxed)
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}

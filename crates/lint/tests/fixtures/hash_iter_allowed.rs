@@ -1,0 +1,25 @@
+//@ path: crates/mapreduce/src/fixture.rs
+//! D1 `hash_iter` negatives: annotated iterations, order-insensitive sinks,
+//! and ordered re-collections are all clean.
+use std::collections::{BTreeMap, HashMap};
+
+fn summarize(counts: HashMap<String, u64>) -> (u64, usize, Vec<(String, u64)>) {
+    // Order-insensitive sink: a commutative fold over the values.
+    let total: u64 = counts.values().sum();
+    // Order-insensitive sink: counting ignores traversal order.
+    let distinct = counts.keys().count();
+    // Re-collection into an ordered container launders the hash order.
+    let ordered: BTreeMap<String, u64> = counts.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    let pairs: Vec<(String, u64)> = ordered.into_iter().collect();
+    (total, distinct, pairs)
+}
+
+fn annotated(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    // lint:allow(hash_iter) fixture: order discarded by the sort below.
+    for (k, _) in counts.iter() {
+        out.push(k.clone());
+    }
+    out.sort();
+    out
+}

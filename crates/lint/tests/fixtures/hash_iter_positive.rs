@@ -1,0 +1,24 @@
+//@ path: crates/mapreduce/src/fixture.rs
+//! D1 `hash_iter` positives: every unordered traversal of a hash container
+//! in a determinism-critical crate must be reported.
+use std::collections::{HashMap, HashSet};
+
+struct Shard {
+    routes: HashMap<u64, usize>,
+}
+
+fn emit_all(counts: HashMap<String, u64>, seen: HashSet<u64>, shard: &Shard) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, v) in counts.iter() {
+        out.push(format!("{k}={v}"));
+    }
+    for id in &seen {
+        out.push(id.to_string());
+    }
+    for (_, p) in shard.routes.iter() {
+        out.push(p.to_string());
+    }
+    let keys: Vec<&String> = counts.keys().collect();
+    out.push(keys.len().to_string());
+    out
+}

@@ -1,0 +1,12 @@
+//@ path: crates/mapreduce/src/driver.rs
+//! D4 `panic_path` positives: unwrap/expect/panic! in a runtime hot-path
+//! file (`driver.rs` here) must be reported.
+
+fn lookup(table: &[Option<usize>], key: usize) -> usize {
+    let first = table.first().unwrap();
+    let hit = first.expect("slot populated");
+    if hit != key {
+        panic!("route mismatch");
+    }
+    hit
+}

@@ -1,0 +1,15 @@
+//@ path: crates/mapreduce/src/fixture.rs
+//! D3 `relaxed` negatives: a justified `Ordering::Relaxed` passes, and
+//! stronger orderings were never in scope.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn tick() -> usize {
+    // lint:allow(relaxed) fixture: ticket dispenser, RMW atomicity suffices.
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+fn read() -> usize {
+    COUNTER.load(Ordering::SeqCst)
+}

@@ -1,0 +1,14 @@
+//@ path: crates/mapreduce/src/fixture.rs
+//! D3 `relaxed` positives: every `Ordering::Relaxed` without a written
+//! safety argument is reported, wherever it appears.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+fn tick() -> usize {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+fn read() -> usize {
+    COUNTER.load(Ordering::Relaxed)
+}

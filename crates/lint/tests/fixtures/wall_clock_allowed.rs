@@ -1,0 +1,14 @@
+//@ path: crates/mapreduce/src/cost.rs
+//! D2 `wall_clock` negatives: `cost.rs` is an approved module (it owns the
+//! virtual clock and may anchor it), and explicit annotations also pass.
+use std::time::Instant;
+
+fn anchor() -> Instant {
+    Instant::now()
+}
+
+fn annotated_elapsed(start: Instant) -> f64 {
+    // lint:allow(wall_clock) fixture: informational timing only.
+    let end = Instant::now();
+    end.duration_since(start).as_secs_f64()
+}

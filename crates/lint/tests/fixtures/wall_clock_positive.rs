@@ -1,0 +1,14 @@
+//@ path: crates/mapreduce/src/fixture.rs
+//! D2 `wall_clock` positives: real-time reads and ambient randomness on a
+//! virtual-time code path.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> (Instant, u128, u64) {
+    let t = Instant::now();
+    let epoch = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let r = rand::thread_rng().next_u64();
+    (t, epoch, r)
+}

@@ -1,0 +1,25 @@
+//! The linter's strongest test is the workspace itself: `cargo test` fails
+//! the moment anyone introduces an unsuppressed hash-order iteration,
+//! wall-clock read, bare `Ordering::Relaxed`, or hot-path panic — no CI
+//! wiring required.
+
+use std::path::Path;
+
+use pper_lint::lint_tree;
+
+#[test]
+fn workspace_has_no_unsuppressed_diagnostics() {
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let diags = lint_tree(&[crates]);
+    assert!(
+        diags.is_empty(),
+        "pper-lint found {} unsuppressed diagnostic(s) in the workspace \
+         (fix the site or add a justified `// lint:allow(<rule>) <reason>`):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

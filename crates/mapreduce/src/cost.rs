@@ -138,11 +138,7 @@ pub fn virtual_makespan(task_costs: &[f64], slots: usize) -> f64 {
     for &c in task_costs {
         // Dispatch to the least-loaded slot: equivalent to "first slot to
         // free up", which is what a work-conserving scheduler does.
-        let (idx, _) = loads
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("slots >= 1");
+        let idx = least_loaded(&loads);
         loads[idx] += c;
     }
     loads.iter().cloned().fold(0.0, f64::max)
@@ -158,15 +154,23 @@ pub fn list_schedule_starts(task_costs: &[f64], slots: usize) -> Vec<f64> {
     let mut loads = vec![0.0f64; slots.min(task_costs.len().max(1))];
     let mut starts = Vec::with_capacity(task_costs.len());
     for &c in task_costs {
-        let (idx, _) = loads
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("slots >= 1");
+        let idx = least_loaded(&loads);
         starts.push(loads[idx]);
         loads[idx] += c;
     }
     starts
+}
+
+/// Index of the smallest load, first on ties (the slot that frees up first
+/// under in-order dispatch). Returns 0 for an empty slice.
+fn least_loaded(loads: &[f64]) -> usize {
+    let mut idx = 0;
+    for i in 1..loads.len() {
+        if loads[i].total_cmp(&loads[idx]).is_lt() {
+            idx = i;
+        }
+    }
+    idx
 }
 
 #[cfg(test)]

@@ -42,14 +42,20 @@ impl Counters {
 
     /// Merge another counter set into this one (summing shared names).
     pub fn merge(&mut self, other: &Counters) {
+        // lint:allow(hash_iter) entry-wise commutative sums: the merged
+        // values are independent of the order entries are visited in.
         for (k, v) in &other.values {
             *self.values.entry(k).or_insert(0) += v;
         }
     }
 
-    /// Iterate over `(name, value)` pairs in unspecified order.
+    /// Iterate over `(name, value)` pairs in ascending name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.values.iter().map(|(k, v)| (*k, *v))
+        // lint:allow(hash_iter) drain order is irrelevant: the pairs are
+        // sorted by name immediately below, before anything observes them.
+        let mut entries: Vec<_> = self.values.iter().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        entries.into_iter().map(|(k, v)| (*k, *v))
     }
 
     /// Number of distinct counters.
@@ -65,9 +71,7 @@ impl Counters {
 
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut entries: Vec<_> = self.values.iter().collect();
-        entries.sort_by_key(|(k, _)| *k);
-        for (k, v) in entries {
+        for (k, v) in self.iter() {
             writeln!(f, "{k} = {v}")?;
         }
         Ok(())

@@ -26,6 +26,12 @@ pub enum MrError {
     },
     /// A checkpoint could not be validated or applied during resume.
     Checkpoint(String),
+    /// A runtime bookkeeping invariant was violated (e.g. a task slot left
+    /// empty with no recorded error, or a shuffle routing table missing a
+    /// key it was built from). Always a bug in this crate, never in user
+    /// mappers/reducers — but surfaced as an error instead of a panic so
+    /// callers can fail the job cleanly.
+    Internal(String),
     /// A [`crate::partition::Partitioner`] returned a partition index
     /// outside `0..num_reduce` — a placement bug that used to be silently
     /// clamped to the last reduce task.
@@ -59,6 +65,7 @@ impl fmt::Display for MrError {
                 )
             }
             MrError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            MrError::Internal(msg) => write!(f, "internal runtime invariant violated: {msg}"),
             MrError::InvalidPartition {
                 job,
                 partition,

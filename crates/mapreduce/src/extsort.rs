@@ -26,7 +26,14 @@ pub struct ExternalSorter<T> {
     buffer: Vec<T>,
     runs: Vec<SpilledRun>,
     dir: PathBuf,
+    /// Process-unique sorter id; spill files are named
+    /// `pper-extsort-<pid>-<sorter>-<run>.run` so names are collision-free
+    /// across sorters and processes without consulting the wall clock.
+    sorter_id: u64,
 }
+
+/// Monotone id source for [`ExternalSorter`] instances within this process.
+static NEXT_SORTER_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 struct SpilledRun {
     path: PathBuf,
@@ -46,6 +53,9 @@ impl<T: SpillCodec + Ord> ExternalSorter<T> {
             buffer: Vec::with_capacity(run_capacity.min(4096)),
             runs: Vec::new(),
             dir: std::env::temp_dir(),
+            // lint:allow(relaxed) uniqueness counter: no ordering with other
+            // memory is required, every fetch_add still returns a distinct id.
+            sorter_id: NEXT_SORTER_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -69,9 +79,10 @@ impl<T: SpillCodec + Ord> ExternalSorter<T> {
         }
         self.buffer.sort();
         let path = self.dir.join(format!(
-            "pper-extsort-{}-{}.run",
+            "pper-extsort-{}-{}-{}.run",
             std::process::id(),
-            self.runs.len() as u64 ^ (self.buffer.len() as u64) << 20 ^ now_nanos()
+            self.sorter_id,
+            self.runs.len()
         ));
         let mut encoded = BytesMut::new();
         for record in &self.buffer {
@@ -165,12 +176,6 @@ impl<T> Drop for ExternalSorter<T> {
             let _ = std::fs::remove_file(&run.path);
         }
     }
-}
-
-fn now_nanos() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map_or(0, |d| d.subsec_nanos() as u64)
 }
 
 #[cfg(test)]

@@ -110,7 +110,7 @@ impl<K> BlockDistribution<K> {
         if pairs.is_empty() || total == 0 {
             return 1.0;
         }
-        let max = *pairs.iter().max().expect("non-empty") as f64;
+        let max = pairs.iter().max().copied().unwrap_or(0) as f64;
         max / (total as f64 / pairs.len() as f64)
     }
 }
@@ -151,8 +151,7 @@ pub fn lpt_assign(weights: &[u64], partitions: usize) -> Vec<usize> {
             .iter()
             .enumerate()
             .min_by_key(|&(idx, &load)| (load, idx))
-            .map(|(idx, _)| idx)
-            .expect("at least one partition");
+            .map_or(0, |(idx, _)| idx);
         assign[i] = p;
         loads[p] += weights[i];
     }
@@ -602,6 +601,7 @@ where
                     for &(block, pos, idx) in vals {
                         by_block.entry(block).or_default().insert(pos, idx);
                     }
+                    // lint:allow(hash_iter) key order discarded by the sort below.
                     let mut blocks: Vec<u32> = by_block.keys().copied().collect();
                     blocks.sort_unstable();
                     for b in blocks {

@@ -205,6 +205,7 @@ fn run_one_task<T>(
 ) -> Result<TaskRun<T>, MrError> {
     let budget = cfg.faults.as_ref().map_or(1, |p| p.max_attempts.max(1));
     let legacy = cfg.faults.as_ref().map_or(0, |p| p.failures_for(kind, idx));
+    let legacy_waste_fraction = cfg.faults.as_ref().map_or(0.0, |p| p.failure_fraction);
     let id = TaskId { kind, index: idx };
     let mut wasted = 0.0_f64;
     let mut retries = 0u32;
@@ -232,9 +233,9 @@ fn run_one_task<T>(
                 if attempt <= legacy {
                     // Legacy discard-mode failure: the attempt ran fully but
                     // its output is lost; a fraction of its work plus the
-                    // next attempt's startup is wasted.
-                    let plan = cfg.faults.as_ref().expect("legacy failure without plan");
-                    wasted += plan.failure_fraction * ctx.now() + cfg.cost_model.task_startup;
+                    // next attempt's startup is wasted. `legacy > 0` implies
+                    // a fault plan, whose fraction was captured above.
+                    wasted += legacy_waste_fraction * ctx.now() + cfg.cost_model.task_startup;
                     retries += 1;
                     last_error = format!("injected failure discarded attempt {attempt}");
                     continue;
@@ -303,6 +304,10 @@ fn run_tasks<T: Send>(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                // lint:allow(relaxed) pure ticket dispenser: fetch_add's RMW
+                // atomicity alone guarantees each index is handed out exactly
+                // once (model-checked in tests/loom_cursor.rs); results are
+                // published via the per-index mutexes, not this counter.
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= count {
                     return;
@@ -323,10 +328,19 @@ fn run_tasks<T: Send>(
     if let Some(err) = failed.into_inner() {
         return Err(err);
     }
-    Ok(results
-        .into_iter()
-        .map(|m| m.into_inner().expect("task result missing without error"))
-        .collect())
+    let mut runs = Vec::with_capacity(count);
+    for (idx, slot) in results.into_iter().enumerate() {
+        match slot.into_inner() {
+            Some(run) => runs.push(run),
+            None => {
+                return Err(MrError::Internal(format!(
+                    "task {} finished without a result or an error",
+                    TaskId { kind, index: idx }
+                )))
+            }
+        }
+    }
+    Ok(runs)
 }
 
 /// Speculative execution on the virtual clock (Hadoop's LATE heuristic).
@@ -516,6 +530,8 @@ where
         )));
     }
 
+    // lint:allow(wall_clock) informational elapsed-time counter for the job
+    // report only; scheduling and costs run entirely on virtual time.
     let started = Instant::now();
     let num_map = cfg.map_tasks().min(inputs.len()).max(1);
     let num_reduce = cfg.reduce_tasks();
@@ -586,19 +602,16 @@ where
                 let mut iter = taken.into_iter().peekable();
                 while let Some((key, first)) = iter.next() {
                     scratch.push(first);
-                    while iter.peek().is_some_and(|(k, _)| *k == key) {
-                        scratch.push(iter.next().expect("peeked").1);
+                    while let Some((_, v)) = iter.next_if(|(k, _)| *k == key) {
+                        scratch.push(v);
                     }
                     combiner.combine(&key, &mut scratch);
-                    let kept = scratch.len();
-                    let mut key = Some(key);
-                    for (i, v) in scratch.drain(..).enumerate() {
-                        let k = if i + 1 == kept {
-                            key.take().expect("combiner key moved twice")
-                        } else {
-                            key.as_ref().expect("combiner key").clone()
-                        };
-                        out.push((k, v));
+                    let last = scratch.pop();
+                    for v in scratch.drain(..) {
+                        out.push((key.clone(), v));
+                    }
+                    if let Some(v) = last {
+                        out.push((key, v));
                     }
                 }
                 combined_records += out.len() as u64;
@@ -679,17 +692,22 @@ where
             let weights: Vec<u64> = key_records.values().map(|&c| balance.weight(c)).collect();
             let assign = lpt_assign(&weights, num_reduce);
             let table: BTreeMap<&M::Key, usize> = key_records.keys().copied().zip(assign).collect();
-            let routes: Vec<Vec<usize>> = map_outputs
-                .iter()
-                .map(|m| {
-                    m.buckets
-                        .iter()
-                        .flatten()
-                        // Every key was counted above, so the table is total.
-                        .map(|(k, _)| *table.get(k).expect("key counted above"))
-                        .collect()
-                })
-                .collect();
+            let mut routes: Vec<Vec<usize>> = Vec::with_capacity(map_outputs.len());
+            for m in &map_outputs {
+                let mut route = Vec::with_capacity(m.buckets.iter().map(Vec::len).sum());
+                for (k, _) in m.buckets.iter().flatten() {
+                    // Every key was counted above, so the table is total.
+                    let Some(&p) = table.get(k) else {
+                        return Err(MrError::Internal(format!(
+                            "job '{}': balanced shuffle routing table is missing a key \
+                             it was built from",
+                            cfg.name
+                        )));
+                    };
+                    route.push(p);
+                }
+                routes.push(route);
+            }
             drop(table);
             drop(key_records);
             let mut counts = vec![0usize; num_reduce];

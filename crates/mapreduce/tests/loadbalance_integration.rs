@@ -4,6 +4,10 @@
 //! strategy, whole-key balanced shuffling on an ordinary keyed job, and
 //! property tests over random workloads.
 
+// Test code panics on failure by design; `allow-expect-in-tests` only
+// reaches `#[test]` fns, not file-level helpers like `run` below.
+#![allow(clippy::expect_used)]
+
 use pper_datagen::{SkewedBlocksGen, SkewedRecord};
 use pper_mapreduce::loadbalance::{pair_count, BlockSplitPlan, PairRangePlan};
 use pper_mapreduce::prelude::*;

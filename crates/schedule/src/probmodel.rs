@@ -141,6 +141,7 @@ impl TrainedProb {
                 }
             }
         }
+        // lint:allow(hash_iter) drain order discarded by the sort below.
         let mut tables: Vec<_> = tables.into_iter().collect();
         tables.sort_by_key(|(k, _)| *k);
         Self {
@@ -250,6 +251,7 @@ impl SampledProb {
                 }
             }
         }
+        // lint:allow(hash_iter) drain order discarded by the sort below.
         let mut tables: Vec<_> = tables.into_iter().collect();
         tables.sort_by_key(|(k, _)| *k);
         Self {
