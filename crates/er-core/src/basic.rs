@@ -246,6 +246,7 @@ impl BasicApproach {
         cfg.shuffle_balance = self.er.shuffle_balance;
         cfg.faults = self.er.faults.clone();
         cfg.speculation = self.er.speculation;
+        cfg.observer = self.er.observer.clone();
 
         let mapper = BasicMapper {
             families: &self.er.families,

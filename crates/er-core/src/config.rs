@@ -148,6 +148,12 @@ pub struct ErConfig {
     /// contract in `pper_simil::prepared`); `false` forces the original
     /// string path, kept for A/B regression tests.
     pub use_prepared: bool,
+    /// Task lifecycle observer threaded into every MR job this config
+    /// launches (statistics, resolution, and Basic). The durable runner
+    /// (`crate::durable`) uses it to journal task completions, attempt
+    /// histories, and exhaustion for the dead-letter queue. `None` (the
+    /// default) observes nothing and costs nothing.
+    pub observer: Option<pper_mapreduce::TaskObserver>,
 }
 
 impl std::fmt::Debug for ErConfig {
@@ -195,6 +201,7 @@ impl ErConfig {
             speculation: None,
             shuffle_balance: None,
             use_prepared: true,
+            observer: None,
         }
     }
 
@@ -230,6 +237,7 @@ impl ErConfig {
             speculation: None,
             shuffle_balance: None,
             use_prepared: true,
+            observer: None,
         }
     }
 

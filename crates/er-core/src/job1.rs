@@ -115,6 +115,7 @@ pub fn run_job1(ds: &Dataset, config: &ErConfig) -> Result<Job1Result, MrError> 
     cfg.worker_threads = config.worker_threads;
     cfg.shuffle_balance = config.shuffle_balance;
     cfg.speculation = config.speculation;
+    cfg.observer = config.observer.clone();
 
     let mapper = AnnotateMapper {
         families: &config.families,

@@ -102,6 +102,13 @@ enum ReduceMode<'a> {
     /// Restore each task from the checkpoint and resolve only the
     /// remaining blocks.
     Resume(&'a Checkpoint),
+    /// Restore from the checkpoint like [`ReduceMode::Resume`], but kill
+    /// each task again once its clock crosses the (later) threshold and
+    /// emit a fresh [`TaskCheckpoint`]. This is the staged periodic-
+    /// checkpointing step: by determinism, resuming checkpoint `T1` and
+    /// crashing at `T2` yields the same checkpoint as crashing the
+    /// uninterrupted run at `T2`.
+    ResumeToCrash(&'a Checkpoint, f64),
 }
 
 /// Reduce output: result segments in normal/resume modes, one task
@@ -169,11 +176,11 @@ impl PartitionReducer for ResolveReducer<'_> {
             IncrementalWriter::new(self.alpha, ctx.now());
 
         let resume = match self.mode {
-            ReduceMode::Resume(cp) => Some(&cp.tasks[task]),
+            ReduceMode::Resume(cp) | ReduceMode::ResumeToCrash(cp, _) => Some(&cp.tasks[task]),
             _ => None,
         };
         let crash_at = match self.mode {
-            ReduceMode::CrashAt(limit) => Some(limit),
+            ReduceMode::CrashAt(limit) | ReduceMode::ResumeToCrash(_, limit) => Some(limit),
             _ => None,
         };
 
@@ -214,8 +221,15 @@ impl PartitionReducer for ResolveReducer<'_> {
         // block back below.
         let mut blocks_done = resume.map_or(0, |tc| tc.blocks_done);
         let mut ckpt_clock = ctx.now();
-        let mut dup_log: Vec<(f64, EntityId, EntityId)> = Vec::new();
-        let mut dups_at_boundary = 0usize;
+        // In combined resume+crash mode the next checkpoint must carry the
+        // replayed duplicates forward, so the log is seeded from the one
+        // being resumed; restored resolved-pair sets are likewise already
+        // in `states` and are never rolled back (only `block_added` is).
+        let mut dup_log: Vec<(f64, EntityId, EntityId)> = match (resume, crash_at) {
+            (Some(tc), Some(_)) => tc.duplicates.clone(),
+            _ => Vec::new(),
+        };
+        let mut dups_at_boundary = dup_log.len();
 
         // Per-reduce-task prepared state: an entity's signatures are built
         // on its first comparison in this task and reused across every
@@ -351,7 +365,7 @@ impl PartitionReducer for ResolveReducer<'_> {
             dups_at_boundary = dup_log.len();
         }
 
-        if matches!(self.mode, ReduceMode::CrashAt(_)) {
+        if crash_at.is_some() {
             // The crashed run's in-memory results are lost; only the
             // checkpoint (with its embedded duplicate log) survives.
             let mut resolved: Vec<(usize, Vec<(EntityId, EntityId)>)> = states
@@ -406,6 +420,7 @@ fn run_job2_inner(
     cfg.num_reduce_tasks = Some(schedule.num_tasks);
     cfg.faults = config.faults.clone();
     cfg.speculation = config.speculation;
+    cfg.observer = config.observer.clone();
 
     let mapper = RouteMapper {
         families: &config.families,
@@ -479,6 +494,14 @@ pub fn run_job2_to_crash(
         )));
     }
     let result = run_job2_inner(ds, config, &schedule, ReduceMode::CrashAt(crash_at))?;
+    collect_checkpoints(result, schedule.num_tasks)
+}
+
+/// Extract and order the per-task checkpoints of a crashed run.
+fn collect_checkpoints(
+    result: pper_mapreduce::runtime::JobResult<Job2Out>,
+    num_tasks: usize,
+) -> Result<Vec<TaskCheckpoint>, MrError> {
     let mut tasks: Vec<TaskCheckpoint> = result
         .outputs
         .into_iter()
@@ -488,14 +511,42 @@ pub fn run_job2_to_crash(
         })
         .collect();
     tasks.sort_unstable_by_key(|tc| tc.task);
-    if tasks.len() != schedule.num_tasks {
+    if tasks.len() != num_tasks {
         return Err(MrError::Checkpoint(format!(
-            "crashed run produced {} task checkpoints, expected {}",
-            tasks.len(),
-            schedule.num_tasks
+            "crashed run produced {} task checkpoints, expected {num_tasks}",
+            tasks.len()
         )));
     }
     Ok(tasks)
+}
+
+/// Resume the second job from a checkpoint and crash it again at the later
+/// threshold `crash_at` — one step of staged periodic checkpointing. By
+/// determinism the returned checkpoints are bit-identical to what
+/// [`run_job2_to_crash`] at `crash_at` would have produced on the
+/// uninterrupted run (asserted in this module's tests).
+pub fn run_job2_resume_to_crash(
+    ds: &Dataset,
+    config: &ErConfig,
+    checkpoint: &Checkpoint,
+    crash_at: f64,
+) -> Result<Vec<TaskCheckpoint>, MrError> {
+    checkpoint.validate(config.machines)?;
+    if !crash_at.is_finite() || crash_at < checkpoint.crash_at {
+        return Err(MrError::Checkpoint(format!(
+            "staged crash threshold {crash_at} must be finite and not before \
+             the checkpoint's own ({})",
+            checkpoint.crash_at
+        )));
+    }
+    let schedule = Arc::new(checkpoint.schedule.clone());
+    let result = run_job2_inner(
+        ds,
+        config,
+        &schedule,
+        ReduceMode::ResumeToCrash(checkpoint, crash_at),
+    )?;
+    collect_checkpoints(result, schedule.num_tasks)
 }
 
 /// Resume the second job from a validated [`Checkpoint`]: replay the

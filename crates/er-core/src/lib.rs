@@ -39,6 +39,7 @@ pub mod budget;
 pub mod checkpoint;
 pub mod clustering;
 pub mod config;
+pub mod durable;
 pub mod incremental;
 pub mod job1;
 pub mod job2;
@@ -54,6 +55,9 @@ pub mod prelude {
         correlation_clustering, transitive_closure, ClusterMetrics, UnionFind,
     };
     pub use crate::config::{ErConfig, MechanismKind, ProbModelKind};
+    pub use crate::durable::{
+        reprocess_dlq, resume_durable, run_durable, DurableError, DurableOptions, ResultFingerprint,
+    };
     pub use crate::incremental::{BatchOutcome, IncrementalEr};
     pub use crate::job1::run_job1;
     pub use crate::metrics::{quality, speedup_at, RecallCurve};

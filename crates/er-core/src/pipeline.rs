@@ -11,7 +11,9 @@ use pper_schedule::{generate_schedule, EstimationContext, Schedule};
 use crate::checkpoint::Checkpoint;
 use crate::config::ErConfig;
 use crate::job1::run_job1;
-use crate::job2::{run_job2, run_job2_resume, run_job2_to_crash, Job2Result};
+use crate::job2::{
+    run_job2, run_job2_resume, run_job2_resume_to_crash, run_job2_to_crash, Job2Result,
+};
 use crate::metrics::RecallCurve;
 
 /// Result of one ER run (ours or a baseline) — everything the experiment
@@ -116,10 +118,34 @@ impl ProgressiveEr {
         Ok(self.assemble(ds, job2, checkpoint.job1_cost, Counters::new()))
     }
 
+    /// One step of staged periodic checkpointing: resume the resolution job
+    /// from `checkpoint`, run until every task's clock crosses the later
+    /// threshold `crash_at`, and return the fresh [`Checkpoint`]. By
+    /// determinism this equals [`ProgressiveEr::run_to_crash`] at
+    /// `crash_at` on an uninterrupted run, so a chain of these steps makes
+    /// progress while each step stays cheap to redo after a kill.
+    pub fn resume_to_crash(
+        &self,
+        ds: &Dataset,
+        checkpoint: &Checkpoint,
+        crash_at: f64,
+    ) -> Result<Checkpoint, MrError> {
+        let config = &self.config;
+        let tasks = run_job2_resume_to_crash(ds, config, checkpoint, crash_at)?;
+        Ok(Checkpoint {
+            schedule: checkpoint.schedule.clone(),
+            job1_cost: checkpoint.job1_cost,
+            crash_at,
+            machines: config.machines,
+            tasks,
+        })
+    }
+
     /// Shared tail of [`ProgressiveEr::try_run`] and
     /// [`ProgressiveEr::resume`]: splice the resolution job's timeline onto
     /// the global clock at `offset` and derive curve/precision/counters.
-    fn assemble(
+    /// `pub(crate)` for the durable runner, which drives the jobs itself.
+    pub(crate) fn assemble(
         &self,
         ds: &Dataset,
         job2: Job2Result,

@@ -1,0 +1,286 @@
+//! Record framing: magic header + `[u32 len][u32 crc32][payload]` records.
+//!
+//! The layout is the classic write-ahead-log frame: a fixed 8-byte header
+//! identifying the file and format version, then zero or more records, each
+//! a little-endian payload length, a CRC-32 (IEEE) of the payload, and the
+//! payload bytes. A crashed writer can leave at most one torn record at the
+//! tail; recovery walks records from the front and stops at the first frame
+//! whose length runs past the buffer or whose checksum fails, returning the
+//! longest valid prefix plus a report of what (if anything) was dropped.
+//! Nothing in this module panics on malformed input.
+
+/// File magic + format version ("PPERJNL" + version 1).
+pub const MAGIC: [u8; 8] = *b"PPERJNL\x01";
+
+/// Per-record framing overhead: 4-byte length + 4-byte CRC.
+pub const FRAME_HEADER: usize = 8;
+
+/// Largest payload a single frame may carry (a corrupt length field must
+/// not make recovery attempt a multi-gigabyte slice).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+/// Append one framed record for `payload` to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// What recovery found beyond the valid prefix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Byte length of the valid prefix (header + whole valid records).
+    pub valid_bytes: u64,
+    /// Bytes discarded past the valid prefix (torn tail or corruption).
+    pub dropped_bytes: u64,
+    /// A frame header or payload was cut short — the classic torn tail a
+    /// killed writer leaves behind.
+    pub torn_tail: bool,
+    /// A complete frame's checksum did not match its payload (bit rot or
+    /// an overwritten region); everything from it on is dropped.
+    pub corrupt: bool,
+}
+
+impl RecoveryReport {
+    /// True when the whole buffer parsed cleanly.
+    pub fn clean(&self) -> bool {
+        !self.torn_tail && !self.corrupt
+    }
+}
+
+/// `(byte offset of the frame header, payload)` records plus how parsing
+/// ended, as returned by [`read_frames`].
+pub type ParsedFrames<'a> = (Vec<(u64, &'a [u8])>, RecoveryReport);
+
+/// Parse a journal byte stream into `(byte offset, payload)` records.
+///
+/// The offset is the position of the record's frame header within the
+/// stream, usable with [`read_frame_at`]. Returns an error only when the
+/// header itself is missing or unrecognized — a valid header followed by
+/// garbage yields the longest valid (possibly empty) record prefix.
+pub fn read_frames(bytes: &[u8]) -> Result<ParsedFrames<'_>, crate::JournalError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(crate::JournalError::BadHeader(format!(
+            "{} bytes is shorter than the {}-byte magic",
+            bytes.len(),
+            MAGIC.len()
+        )));
+    }
+    let Some(header) = bytes.get(..MAGIC.len()) else {
+        return Err(crate::JournalError::BadHeader("unreadable header".into()));
+    };
+    if header != MAGIC {
+        return Err(crate::JournalError::BadHeader(format!(
+            "magic mismatch: expected {MAGIC:02x?}, found {header:02x?}"
+        )));
+    }
+    let mut records = Vec::new();
+    let mut report = RecoveryReport::default();
+    let mut pos = MAGIC.len();
+    loop {
+        if pos == bytes.len() {
+            break; // clean end exactly on a record boundary
+        }
+        match frame_at(bytes, pos) {
+            FrameParse::Ok { payload, next } => {
+                records.push((pos as u64, payload));
+                pos = next;
+            }
+            FrameParse::Torn => {
+                report.torn_tail = true;
+                break;
+            }
+            FrameParse::Corrupt => {
+                report.corrupt = true;
+                break;
+            }
+        }
+    }
+    report.valid_bytes = pos as u64;
+    report.dropped_bytes = (bytes.len() - pos) as u64;
+    Ok((records, report))
+}
+
+/// Read the single frame starting at byte `offset` of the stream.
+///
+/// Used to dereference durable pointers (e.g. "the checkpoint lives at
+/// journal offset N") without re-parsing the whole log.
+pub fn read_frame_at(bytes: &[u8], offset: u64) -> Result<&[u8], crate::JournalError> {
+    let pos = usize::try_from(offset)
+        .map_err(|_| crate::JournalError::BadState(format!("offset {offset} out of range")))?;
+    if pos < MAGIC.len() {
+        return Err(crate::JournalError::BadState(format!(
+            "offset {offset} points inside the journal header"
+        )));
+    }
+    match frame_at(bytes, pos) {
+        FrameParse::Ok { payload, .. } => Ok(payload),
+        FrameParse::Torn => Err(crate::JournalError::BadState(format!(
+            "no complete record at offset {offset}"
+        ))),
+        FrameParse::Corrupt => Err(crate::JournalError::BadState(format!(
+            "record at offset {offset} fails its checksum"
+        ))),
+    }
+}
+
+enum FrameParse<'a> {
+    Ok { payload: &'a [u8], next: usize },
+    Torn,
+    Corrupt,
+}
+
+fn frame_at(bytes: &[u8], pos: usize) -> FrameParse<'_> {
+    let Some(header) = bytes.get(pos..pos + FRAME_HEADER) else {
+        return FrameParse::Torn;
+    };
+    let mut len_b = [0u8; 4];
+    let mut crc_b = [0u8; 4];
+    len_b.copy_from_slice(&header[..4]);
+    crc_b.copy_from_slice(&header[4..]);
+    let len = u32::from_le_bytes(len_b) as usize;
+    if len > MAX_PAYLOAD {
+        // An absurd length is corruption, not a torn tail: a real record
+        // could never have been written this large.
+        return FrameParse::Corrupt;
+    }
+    let start = pos + FRAME_HEADER;
+    let Some(payload) = bytes.get(start..start + len) else {
+        return FrameParse::Torn;
+    };
+    if crc32(payload) != u32::from_le_bytes(crc_b) {
+        return FrameParse::Corrupt;
+    }
+    FrameParse::Ok {
+        payload,
+        next: start + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(payloads: &[&[u8]]) -> Vec<u8> {
+        let mut out = MAGIC.to_vec();
+        for p in payloads {
+            write_frame(&mut out, p);
+        }
+        out
+    }
+
+    #[test]
+    fn crc_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_multiple_frames() {
+        let s = stream(&[b"alpha", b"", b"gamma-longer-payload"]);
+        let (records, report) = read_frames(&s).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.valid_bytes, s.len() as u64);
+        let payloads: Vec<&[u8]> = records.iter().map(|&(_, p)| p).collect();
+        assert_eq!(
+            payloads,
+            vec![&b"alpha"[..], &b""[..], &b"gamma-longer-payload"[..]]
+        );
+        // Offsets dereference back to the same payloads.
+        for &(off, p) in &records {
+            assert_eq!(read_frame_at(&s, off).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let full = stream(&[b"one", b"two"]);
+        for cut in MAGIC.len()..full.len() - 1 {
+            let (records, report) = read_frames(&full[..cut]).unwrap();
+            assert!(records.len() <= 2);
+            assert!(!report.corrupt);
+            if cut < MAGIC.len() + FRAME_HEADER + 3 {
+                assert!(records.is_empty());
+            }
+            // Every surviving record is intact.
+            for &(_, p) in &records {
+                assert!(p == b"one" || p == b"two");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_checksum_drops_suffix() {
+        let mut s = stream(&[b"first", b"second"]);
+        let flip = MAGIC.len() + FRAME_HEADER; // first byte of "first"
+        s[flip] ^= 0xFF;
+        let (records, report) = read_frames(&s).unwrap();
+        assert!(records.is_empty());
+        assert!(report.corrupt);
+        assert_eq!(report.valid_bytes, MAGIC.len() as u64);
+        assert_eq!(report.dropped_bytes, (s.len() - MAGIC.len()) as u64);
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let mut s = stream(&[b"x"]);
+        s[0] = b'Z';
+        assert!(matches!(
+            read_frames(&s),
+            Err(crate::JournalError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_frames(b"PP"),
+            Err(crate::JournalError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_length_is_corruption_not_torn() {
+        let mut s = MAGIC.to_vec();
+        s.extend_from_slice(&u32::MAX.to_le_bytes());
+        s.extend_from_slice(&0u32.to_le_bytes());
+        let (records, report) = read_frames(&s).unwrap();
+        assert!(records.is_empty());
+        assert!(report.corrupt && !report.torn_tail);
+    }
+
+    #[test]
+    fn read_frame_at_rejects_header_offsets() {
+        let s = stream(&[b"x"]);
+        assert!(read_frame_at(&s, 0).is_err());
+        assert!(read_frame_at(&s, s.len() as u64).is_err());
+    }
+}

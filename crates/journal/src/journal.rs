@@ -1,0 +1,412 @@
+//! The per-job journal writer, recovery, and the replayed job state.
+//!
+//! [`JobJournal`] is the write side: it frames and appends events through a
+//! [`JournalStore`], syncing after every append so an abrupt process death
+//! never loses an acknowledged event. [`recover`] is the read side: it
+//! parses the longest valid record prefix (tolerating the torn tail a
+//! killed writer leaves) and decodes it to `(offset, event)` pairs.
+//! [`JournalState`] folds that stream into "where was this job" — enough
+//! for a fresh process to reconstruct the run and continue, and the source
+//! of the job's live dead-letter queue.
+
+use std::sync::Arc;
+
+use crate::event::JournalEvent;
+use crate::frame::{self, RecoveryReport, MAGIC};
+use crate::store::JournalStore;
+use crate::JournalError;
+
+/// Append-side handle for one job's journal.
+pub struct JobJournal {
+    store: Arc<dyn JournalStore>,
+    job_id: String,
+    events_appended: u64,
+    kill_after: Option<u64>,
+}
+
+impl std::fmt::Debug for JobJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobJournal")
+            .field("job_id", &self.job_id)
+            .field("events_appended", &self.events_appended)
+            .field("kill_after", &self.kill_after)
+            .finish()
+    }
+}
+
+impl JobJournal {
+    /// Open (creating if absent) the journal for `job_id`.
+    ///
+    /// A brand-new journal gets the magic header written and synced before
+    /// this returns; an existing one has its header validated so appending
+    /// to a foreign or corrupt file fails fast.
+    pub fn create(store: Arc<dyn JournalStore>, job_id: &str) -> Result<Self, JournalError> {
+        match store.read(job_id) {
+            Ok(bytes) if bytes.is_empty() => {
+                store.append(job_id, &MAGIC)?;
+                store.sync(job_id)?;
+            }
+            Ok(bytes) => {
+                if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+                    return Err(JournalError::BadHeader(format!(
+                        "existing log for '{job_id}' is not a pper journal"
+                    )));
+                }
+            }
+            Err(JournalError::NotFound(_)) => {
+                store.append(job_id, &MAGIC)?;
+                store.sync(job_id)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(Self {
+            store,
+            job_id: job_id.to_string(),
+            events_appended: 0,
+            kill_after: None,
+        })
+    }
+
+    /// Conformance-harness hook: after the `n`-th successful (appended and
+    /// synced) event, the process aborts as if killed. `None` disables.
+    ///
+    /// Aborting *after* the sync is the strictest kill point: the event is
+    /// durable, nothing after it is, and resume must pick up exactly there.
+    pub fn set_kill_after(&mut self, n: Option<u64>) {
+        self.kill_after = n;
+    }
+
+    /// Job id this journal writes under.
+    pub fn job_id(&self) -> &str {
+        &self.job_id
+    }
+
+    /// Events appended through this handle (not counting pre-existing ones).
+    pub fn events_appended(&self) -> u64 {
+        self.events_appended
+    }
+
+    /// Frame, append, and sync one event; returns the byte offset of the
+    /// record's frame header, usable with [`read_event_at`].
+    pub fn append(&mut self, event: &JournalEvent) -> Result<u64, JournalError> {
+        let payload = event.encode();
+        let mut framed = Vec::with_capacity(frame::FRAME_HEADER + payload.len());
+        frame::write_frame(&mut framed, &payload);
+        let offset = self.store.append(&self.job_id, &framed)?;
+        self.store.sync(&self.job_id)?;
+        self.events_appended += 1;
+        if let Some(n) = self.kill_after {
+            if self.events_appended >= n {
+                // Simulated `kill -9` for the kill-point conformance suite:
+                // no unwinding, no destructors, no further writes.
+                std::process::abort();
+            }
+        }
+        Ok(offset)
+    }
+}
+
+/// Result of [`recover`]: the decoded event stream plus what the frame
+/// layer had to drop to get there.
+#[derive(Debug)]
+pub struct RecoveredJournal {
+    /// `(byte offset of the record, event)` in append order.
+    pub events: Vec<(u64, JournalEvent)>,
+    /// Torn-tail / corruption report from the frame layer.
+    pub report: RecoveryReport,
+}
+
+/// Read and decode a job's journal, recovering the longest valid prefix.
+///
+/// A record whose checksum matches but whose payload fails to decode stops
+/// the prefix there (marked corrupt) rather than erroring: recovery always
+/// yields every event that is certainly good.
+pub fn recover(
+    store: &Arc<dyn JournalStore>,
+    job_id: &str,
+) -> Result<RecoveredJournal, JournalError> {
+    let bytes = store.read(job_id)?;
+    let (frames, mut report) = frame::read_frames(&bytes)?;
+    let mut events = Vec::with_capacity(frames.len());
+    for (offset, payload) in frames {
+        match JournalEvent::decode(payload) {
+            Ok(ev) => events.push((offset, ev)),
+            Err(_) => {
+                // Checksummed but undecodable: schema damage. Keep the
+                // prefix before it, report everything from here as dropped.
+                report.corrupt = true;
+                report.dropped_bytes += report.valid_bytes - offset;
+                report.valid_bytes = offset;
+                break;
+            }
+        }
+    }
+    Ok(RecoveredJournal { events, report })
+}
+
+/// Decode the single event at byte `offset` of a job's journal.
+///
+/// This is how durable pointers are dereferenced: a later event (or a
+/// fresh process) holds "checkpoint at offset N" and re-reads the record
+/// itself rather than trusting process memory.
+pub fn read_event_at(
+    store: &Arc<dyn JournalStore>,
+    job_id: &str,
+    offset: u64,
+) -> Result<JournalEvent, JournalError> {
+    let bytes = store.read(job_id)?;
+    let payload = frame::read_frame_at(&bytes, offset)?;
+    JournalEvent::decode(payload)
+}
+
+/// One task sitting in the dead-letter queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlqEntry {
+    /// Sequence number assigned at capture (stable across drains).
+    pub seq: u32,
+    /// Name of the MR job the task belonged to.
+    pub job: String,
+    /// Map or reduce side.
+    pub kind: crate::event::TaskClass,
+    /// Task index within its phase.
+    pub index: u32,
+    /// Attempts the task consumed before exhausting its budget.
+    pub attempts: u32,
+    /// Rendered failure history, one entry per dead attempt.
+    pub failures: Vec<crate::event::AttemptFailure>,
+    /// JSON reprocessing context captured with the task.
+    pub context_json: String,
+}
+
+/// The fold of a job's event stream: everything a fresh process needs to
+/// know to list, resume, or reprocess the job.
+#[derive(Debug, Default)]
+pub struct JournalState {
+    /// Job id from `JobStarted` (None if the log predates it — unresumable).
+    pub job_id: Option<String>,
+    /// Configuration key/value pairs from `JobStarted`.
+    pub params: Vec<(String, String)>,
+    /// Virtual cost of the finished statistics job, if journaled.
+    pub job1_cost: Option<f64>,
+    /// `(num_tasks, total_blocks)` once the schedule was generated.
+    pub schedule: Option<(u32, u64)>,
+    /// Offset and serialized checkpoint of the *latest* `CheckpointCut`.
+    pub last_checkpoint: Option<(u64, String)>,
+    /// `(duplicates, total_cost)` once the job finished.
+    pub finished: Option<(u64, f64)>,
+    /// Count of `TaskFinished` events seen.
+    pub tasks_finished: u64,
+    /// Latest counters snapshot, if any.
+    pub counters: Vec<(String, u64)>,
+    /// Live dead-letter queue: captured minus drained.
+    pub dlq: Vec<DlqEntry>,
+    /// Next dead-letter sequence number to assign.
+    pub next_dlq_seq: u32,
+}
+
+impl JournalState {
+    /// Fold an event stream (as produced by [`recover`]) into a state.
+    pub fn replay(events: &[(u64, JournalEvent)]) -> Self {
+        let mut st = Self::default();
+        for (offset, ev) in events {
+            match ev {
+                JournalEvent::JobStarted { job_id, params } => {
+                    st.job_id = Some(job_id.clone());
+                    st.params = params.clone();
+                }
+                JournalEvent::Job1Finished { virtual_cost } => {
+                    st.job1_cost = Some(*virtual_cost);
+                }
+                JournalEvent::ScheduleGenerated {
+                    num_tasks,
+                    total_blocks,
+                } => st.schedule = Some((*num_tasks, *total_blocks)),
+                JournalEvent::TaskFinished { .. } => st.tasks_finished += 1,
+                JournalEvent::TaskExhausted { .. } => {}
+                JournalEvent::CheckpointCut { checkpoint_json } => {
+                    st.last_checkpoint = Some((*offset, checkpoint_json.clone()));
+                }
+                JournalEvent::CountersSnapshot { entries } => {
+                    st.counters = entries.clone();
+                }
+                JournalEvent::DeadLettered {
+                    seq,
+                    job,
+                    kind,
+                    index,
+                    attempts,
+                    failures,
+                    context_json,
+                } => {
+                    st.dlq.push(DlqEntry {
+                        seq: *seq,
+                        job: job.clone(),
+                        kind: *kind,
+                        index: *index,
+                        attempts: *attempts,
+                        failures: failures.clone(),
+                        context_json: context_json.clone(),
+                    });
+                    st.next_dlq_seq = st.next_dlq_seq.max(*seq + 1);
+                }
+                JournalEvent::DlqDrained { seq } => {
+                    st.dlq.retain(|e| e.seq != *seq);
+                }
+                JournalEvent::JobFinished {
+                    duplicates,
+                    total_cost,
+                } => st.finished = Some((*duplicates, *total_cost)),
+            }
+        }
+        st
+    }
+
+    /// Look up a `JobStarted` configuration parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AttemptFailure, TaskClass};
+    use crate::store::MemStore;
+
+    fn mem() -> Arc<dyn JournalStore> {
+        MemStore::shared()
+    }
+
+    #[test]
+    fn append_recover_round_trip() {
+        let store = mem();
+        let mut j = JobJournal::create(Arc::clone(&store), "rt").unwrap();
+        let ev1 = JournalEvent::JobStarted {
+            job_id: "rt".into(),
+            params: vec![("machines".into(), "2".into())],
+        };
+        let ev2 = JournalEvent::Job1Finished { virtual_cost: 17.5 };
+        let off1 = j.append(&ev1).unwrap();
+        let off2 = j.append(&ev2).unwrap();
+        assert_eq!(off1, MAGIC.len() as u64);
+        assert!(off2 > off1);
+        let rec = recover(&store, "rt").unwrap();
+        assert!(rec.report.clean());
+        assert_eq!(rec.events.len(), 2);
+        assert_eq!(rec.events[0], (off1, ev1));
+        assert_eq!(rec.events[1].1, ev2);
+        assert_eq!(read_event_at(&store, "rt", off2).unwrap(), ev2);
+    }
+
+    #[test]
+    fn create_is_idempotent_and_validates_header() {
+        let store = mem();
+        {
+            let mut j = JobJournal::create(Arc::clone(&store), "idem").unwrap();
+            j.append(&JournalEvent::DlqDrained { seq: 0 }).unwrap();
+        }
+        // Re-opening appends after existing events, never rewrites the header.
+        let mut j2 = JobJournal::create(Arc::clone(&store), "idem").unwrap();
+        j2.append(&JournalEvent::DlqDrained { seq: 1 }).unwrap();
+        let rec = recover(&store, "idem").unwrap();
+        assert_eq!(rec.events.len(), 2);
+        // A log that is not a journal is rejected.
+        store.append("alien", b"not a journal at all").unwrap();
+        assert!(matches!(
+            JobJournal::create(Arc::clone(&store), "alien"),
+            Err(JournalError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix() {
+        let mstore = Arc::new(MemStore::new());
+        let store: Arc<dyn JournalStore> = Arc::<MemStore>::clone(&mstore);
+        let mut j = JobJournal::create(Arc::clone(&store), "torn").unwrap();
+        j.append(&JournalEvent::DlqDrained { seq: 0 }).unwrap();
+        j.append(&JournalEvent::DlqDrained { seq: 1 }).unwrap();
+        let full = store.read("torn").unwrap().len();
+        mstore.truncate("torn", full - 2);
+        let rec = recover(&store, "torn").unwrap();
+        assert_eq!(rec.events.len(), 1);
+        assert!(rec.report.torn_tail && !rec.report.corrupt);
+        assert_eq!(
+            rec.report.dropped_bytes as usize,
+            full - 2 - rec.report.valid_bytes as usize
+        );
+    }
+
+    #[test]
+    fn undecodable_payload_is_reported_corrupt() {
+        let store = mem();
+        let mut framed = MAGIC.to_vec();
+        crate::frame::write_frame(&mut framed, &[250, 1, 2, 3]); // bogus tag
+        store.append("bad", &framed).unwrap();
+        let rec = recover(&store, "bad").unwrap();
+        assert!(rec.events.is_empty());
+        assert!(rec.report.corrupt);
+        assert_eq!(rec.report.valid_bytes, MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn state_replay_tracks_checkpoints_and_dlq() {
+        let store = mem();
+        let mut j = JobJournal::create(Arc::clone(&store), "state").unwrap();
+        j.append(&JournalEvent::JobStarted {
+            job_id: "state".into(),
+            params: vec![("dataset".into(), "ds.jsonl".into())],
+        })
+        .unwrap();
+        j.append(&JournalEvent::Job1Finished { virtual_cost: 3.0 })
+            .unwrap();
+        j.append(&JournalEvent::CheckpointCut {
+            checkpoint_json: "{\"v\":1}".into(),
+        })
+        .unwrap();
+        let ck2 = j
+            .append(&JournalEvent::CheckpointCut {
+                checkpoint_json: "{\"v\":2}".into(),
+            })
+            .unwrap();
+        j.append(&JournalEvent::DeadLettered {
+            seq: 0,
+            job: "j2".into(),
+            kind: TaskClass::Reduce,
+            index: 3,
+            attempts: 4,
+            failures: vec![AttemptFailure {
+                attempt: 1,
+                wasted_cost: 2.5,
+                error: "boom".into(),
+            }],
+            context_json: "{}".into(),
+        })
+        .unwrap();
+        j.append(&JournalEvent::DeadLettered {
+            seq: 1,
+            job: "j2".into(),
+            kind: TaskClass::Reduce,
+            index: 5,
+            attempts: 4,
+            failures: vec![],
+            context_json: "{}".into(),
+        })
+        .unwrap();
+        j.append(&JournalEvent::DlqDrained { seq: 0 }).unwrap();
+
+        let rec = recover(&store, "state").unwrap();
+        let st = JournalState::replay(&rec.events);
+        assert_eq!(st.job_id.as_deref(), Some("state"));
+        assert_eq!(st.param("dataset"), Some("ds.jsonl"));
+        assert_eq!(st.job1_cost, Some(3.0));
+        assert_eq!(st.last_checkpoint, Some((ck2, "{\"v\":2}".to_string())));
+        assert_eq!(st.dlq.len(), 1);
+        assert_eq!(st.dlq[0].seq, 1);
+        assert_eq!(st.dlq[0].index, 5);
+        assert_eq!(st.next_dlq_seq, 2);
+        assert!(st.finished.is_none());
+    }
+}

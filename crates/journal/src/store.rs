@@ -1,0 +1,318 @@
+//! Pluggable journal storage: where the framed bytes actually live.
+//!
+//! The [`JournalStore`] trait is the only seam between the journal logic
+//! and the outside world. Tests use the in-memory [`MemStore`]; real runs
+//! use [`FileStore`], one fsync'd file per job, so a `kill -9` after a
+//! synced append can lose at most the record being written (a torn tail
+//! the frame layer recovers from).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::JournalError;
+
+/// Abstract append-only byte storage, keyed by job id.
+pub trait JournalStore: Send + Sync {
+    /// Append `bytes` to the job's log, returning the byte offset at which
+    /// the write began (i.e. the log's length before the append).
+    fn append(&self, job: &str, bytes: &[u8]) -> Result<u64, JournalError>;
+
+    /// Read the job's entire log. [`JournalError::NotFound`] if the job has
+    /// never been written.
+    fn read(&self, job: &str) -> Result<Vec<u8>, JournalError>;
+
+    /// Force appended bytes to stable storage (no-op for memory stores).
+    fn sync(&self, job: &str) -> Result<(), JournalError>;
+
+    /// Cut the job's log back to `len` bytes. Recovery uses this to drop a
+    /// torn tail before new records are appended behind it; `len` past the
+    /// current end is a no-op.
+    fn truncate_log(&self, job: &str, len: u64) -> Result<(), JournalError>;
+
+    /// Every job id with a log, sorted.
+    fn list_jobs(&self) -> Result<Vec<String>, JournalError>;
+}
+
+/// Reject job ids that cannot round-trip through a file name. Applies to
+/// every store so tests with `MemStore` catch bad ids too.
+pub(crate) fn check_job_id(job: &str) -> Result<(), JournalError> {
+    let ok = !job.is_empty()
+        && job.len() <= 128
+        && job
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        && !job.starts_with('.');
+    if ok {
+        Ok(())
+    } else {
+        Err(JournalError::BadJobId(job.to_string()))
+    }
+}
+
+/// In-memory store for tests: a map of job id to its byte log.
+#[derive(Default)]
+pub struct MemStore {
+    logs: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Fresh, empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh store behind an `Arc<dyn JournalStore>`, the shape the
+    /// durable runner consumes.
+    pub fn shared() -> Arc<dyn JournalStore> {
+        Arc::new(Self::new())
+    }
+
+    /// Truncate a job's log to `len` bytes — simulates a crash that lost
+    /// the tail of the file. No-op if the log is already shorter.
+    pub fn truncate(&self, job: &str, len: usize) {
+        let mut logs = self.logs.lock();
+        if let Some(log) = logs.get_mut(job) {
+            log.truncate(len);
+        }
+    }
+
+    /// Flip the byte at `pos` in a job's log — simulates bit rot.
+    pub fn corrupt(&self, job: &str, pos: usize) {
+        let mut logs = self.logs.lock();
+        if let Some(b) = logs.get_mut(job).and_then(|log| log.get_mut(pos)) {
+            *b ^= 0xFF;
+        }
+    }
+}
+
+impl std::fmt::Debug for MemStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let logs = self.logs.lock();
+        f.debug_struct("MemStore")
+            .field("jobs", &logs.len())
+            .finish()
+    }
+}
+
+impl JournalStore for MemStore {
+    fn append(&self, job: &str, bytes: &[u8]) -> Result<u64, JournalError> {
+        check_job_id(job)?;
+        let mut logs = self.logs.lock();
+        let log = logs.entry(job.to_string()).or_default();
+        let offset = log.len() as u64;
+        log.extend_from_slice(bytes);
+        Ok(offset)
+    }
+
+    fn read(&self, job: &str) -> Result<Vec<u8>, JournalError> {
+        check_job_id(job)?;
+        self.logs
+            .lock()
+            .get(job)
+            .cloned()
+            .ok_or_else(|| JournalError::NotFound(job.to_string()))
+    }
+
+    fn sync(&self, _job: &str) -> Result<(), JournalError> {
+        Ok(())
+    }
+
+    fn truncate_log(&self, job: &str, len: u64) -> Result<(), JournalError> {
+        check_job_id(job)?;
+        let mut logs = self.logs.lock();
+        if let Some(log) = logs.get_mut(job) {
+            log.truncate(usize::try_from(len).unwrap_or(usize::MAX));
+        }
+        Ok(())
+    }
+
+    fn list_jobs(&self) -> Result<Vec<String>, JournalError> {
+        Ok(self.logs.lock().keys().cloned().collect())
+    }
+}
+
+/// One fsync'd `<job>.journal` file per job under a directory.
+pub struct FileStore {
+    dir: PathBuf,
+    // Cached append handles so repeated appends don't reopen the file.
+    handles: Mutex<BTreeMap<String, File>>,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, JournalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| JournalError::Store(format!("create {}: {e}", dir.display())))?;
+        Ok(Self {
+            dir,
+            handles: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// As [`FileStore::open`], but behind an `Arc<dyn JournalStore>`.
+    pub fn shared(dir: impl AsRef<Path>) -> Result<Arc<dyn JournalStore>, JournalError> {
+        Ok(Arc::new(Self::open(dir)?))
+    }
+
+    /// Path of a job's journal file.
+    pub fn path_for(&self, job: &str) -> PathBuf {
+        self.dir.join(format!("{job}.journal"))
+    }
+}
+
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore").field("dir", &self.dir).finish()
+    }
+}
+
+impl JournalStore for FileStore {
+    fn append(&self, job: &str, bytes: &[u8]) -> Result<u64, JournalError> {
+        check_job_id(job)?;
+        let mut handles = self.handles.lock();
+        let file = match handles.get_mut(job) {
+            Some(f) => f,
+            None => {
+                let path = self.path_for(job);
+                let f = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .read(true)
+                    .open(&path)
+                    .map_err(|e| JournalError::Store(format!("open {}: {e}", path.display())))?;
+                handles.entry(job.to_string()).or_insert(f)
+            }
+        };
+        let offset = file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| JournalError::Store(format!("seek {job}: {e}")))?;
+        file.write_all(bytes)
+            .map_err(|e| JournalError::Store(format!("append {job}: {e}")))?;
+        Ok(offset)
+    }
+
+    fn read(&self, job: &str) -> Result<Vec<u8>, JournalError> {
+        check_job_id(job)?;
+        let path = self.path_for(job);
+        let mut buf = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)
+                    .map_err(|e| JournalError::Store(format!("read {}: {e}", path.display())))?;
+                Ok(buf)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(JournalError::NotFound(job.to_string()))
+            }
+            Err(e) => Err(JournalError::Store(format!("open {}: {e}", path.display()))),
+        }
+    }
+
+    fn sync(&self, job: &str) -> Result<(), JournalError> {
+        check_job_id(job)?;
+        let handles = self.handles.lock();
+        if let Some(file) = handles.get(job) {
+            file.sync_data()
+                .map_err(|e| JournalError::Store(format!("sync {job}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    fn truncate_log(&self, job: &str, len: u64) -> Result<(), JournalError> {
+        check_job_id(job)?;
+        let path = self.path_for(job);
+        match OpenOptions::new().write(true).open(&path) {
+            Ok(f) => {
+                let cur = f
+                    .metadata()
+                    .map_err(|e| JournalError::Store(format!("stat {}: {e}", path.display())))?
+                    .len();
+                if len < cur {
+                    f.set_len(len).map_err(|e| {
+                        JournalError::Store(format!("truncate {}: {e}", path.display()))
+                    })?;
+                    f.sync_data().map_err(|e| {
+                        JournalError::Store(format!("sync {}: {e}", path.display()))
+                    })?;
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(JournalError::Store(format!("open {}: {e}", path.display()))),
+        }
+    }
+
+    fn list_jobs(&self) -> Result<Vec<String>, JournalError> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| JournalError::Store(format!("list {}: {e}", self.dir.display())))?;
+        let mut jobs = Vec::new();
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| JournalError::Store(format!("list {}: {e}", self.dir.display())))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(job) = name.strip_suffix(".journal") {
+                if check_job_id(job).is_ok() {
+                    jobs.push(job.to_string());
+                }
+            }
+        }
+        jobs.sort();
+        Ok(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn JournalStore) {
+        assert!(matches!(store.read("nope"), Err(JournalError::NotFound(_))));
+        assert_eq!(store.append("job-a", b"hello").unwrap(), 0);
+        assert_eq!(store.append("job-a", b" world").unwrap(), 5);
+        store.sync("job-a").unwrap();
+        assert_eq!(store.read("job-a").unwrap(), b"hello world");
+        store.truncate_log("job-a", 100).unwrap(); // past end: no-op
+        assert_eq!(store.read("job-a").unwrap(), b"hello world");
+        store.truncate_log("job-a", 5).unwrap();
+        assert_eq!(store.read("job-a").unwrap(), b"hello");
+        assert_eq!(store.append("job-a", b" world").unwrap(), 5);
+        store.truncate_log("absent", 0).unwrap(); // missing job: no-op
+        store.append("job-b", b"x").unwrap();
+        assert_eq!(store.list_jobs().unwrap(), vec!["job-a", "job-b"]);
+        for bad in ["", "a/b", "..", ".hidden", "spa ce"] {
+            assert!(matches!(
+                store.append(bad, b"x"),
+                Err(JournalError::BadJobId(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn file_store_contract() {
+        let dir = std::env::temp_dir().join(format!(
+            "pper-journal-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::open(&dir).unwrap();
+        exercise(&store);
+        // A fresh store over the same directory sees the same bytes.
+        let reopened = FileStore::open(&dir).unwrap();
+        assert_eq!(reopened.read("job-a").unwrap(), b"hello world");
+        assert_eq!(reopened.list_jobs().unwrap(), vec!["job-a", "job-b"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

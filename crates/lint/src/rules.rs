@@ -8,6 +8,7 @@
 //! |             | approved wall-clock modules (`cost.rs`, `bench`, `datagen`)      |
 //! | `relaxed`   | D3: every `Ordering::Relaxed` carries a written justification    |
 //! | `panic_path`| D4: no `unwrap`/`expect`/`panic!` in the runtime hot paths       |
+//! |             | or anywhere in the durability-critical `journal` crate           |
 //!
 //! Any diagnostic can be suppressed with a `// lint:allow(<rule>) <reason>`
 //! comment on the same line or in the comment block directly above it; the
@@ -26,6 +27,7 @@ const D1_CRATES: &[&str] = &[
     "blocking",
     "schedule",
     "progressive",
+    "journal",
 ];
 
 /// Hash container type names whose bindings D1 tracks.
@@ -154,7 +156,12 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
         rule_wall_clock(path, &lexed.tokens, &mask, &mut raw);
     }
     rule_relaxed(path, &lexed.tokens, &mask, &mut raw);
-    if scope.crate_dir == "mapreduce" && D4_FILES.contains(&scope.file_name.as_str()) {
+    // D4 guards the mapreduce hot paths and the whole journal crate: a
+    // panic while appending or recovering a job log turns a recoverable
+    // I/O hiccup into lost durability.
+    let d4_scope = (scope.crate_dir == "mapreduce" && D4_FILES.contains(&scope.file_name.as_str()))
+        || scope.crate_dir == "journal";
+    if d4_scope {
         rule_panic_path(path, &lexed.tokens, &mask, &mut raw);
     }
 
@@ -837,6 +844,28 @@ mod tests {
         assert_eq!(
             rules_of("crates/mapreduce/src/shuffle.rs", src),
             vec!["panic_path"]
+        );
+    }
+
+    #[test]
+    fn panic_path_covers_every_journal_file() {
+        // The journal crate is durability-critical end to end, so D4
+        // applies to all of it, not just a file list.
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(
+            rules_of("crates/journal/src/frame.rs", src),
+            vec!["panic_path"]
+        );
+        assert_eq!(
+            rules_of("crates/journal/src/store.rs", src),
+            vec!["panic_path"]
+        );
+        // D1 and D2 cover it too.
+        let src = "fn f() { let m = HashMap::new(); for k in m.keys() { emit(k); } \
+                   let t = Instant::now(); }";
+        assert_eq!(
+            rules_of("crates/journal/src/journal.rs", src),
+            vec!["hash_iter", "wall_clock"]
         );
     }
 

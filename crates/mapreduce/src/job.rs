@@ -7,6 +7,7 @@ use crate::cost::{CostClock, CostModel};
 use crate::counters::Counters;
 use crate::faults::{FaultPlan, InjectedAbort, SpeculationConfig};
 use crate::loadbalance::ShuffleBalance;
+use crate::observe::TaskObserver;
 use crate::progress::EventLog;
 use crate::shuffle::GroupedPartition;
 
@@ -117,6 +118,11 @@ pub struct JobConfig {
     /// every key still lands on exactly one reduce task — only the key→task
     /// mapping moves, so any keyed job can turn this on safely.
     pub shuffle_balance: Option<ShuffleBalance>,
+    /// Task lifecycle observer (None = no observation). Notified from the
+    /// driver thread in task-index order after each phase's barrier — see
+    /// [`crate::observe`] — so a journal built from the notifications is
+    /// deterministic regardless of worker interleaving.
+    pub observer: Option<TaskObserver>,
 }
 
 impl JobConfig {
@@ -133,6 +139,7 @@ impl JobConfig {
             faults: None,
             speculation: None,
             shuffle_balance: None,
+            observer: None,
         }
     }
 

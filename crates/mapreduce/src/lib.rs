@@ -108,6 +108,7 @@ pub mod faults;
 pub mod fxhash;
 pub mod job;
 pub mod loadbalance;
+pub mod observe;
 pub mod partition;
 pub mod progress;
 pub mod runtime;
@@ -130,6 +131,7 @@ pub mod prelude {
         run_pair_job, run_pair_job_with, BlockDistribution, BlockSplitPlan, PairJobReport,
         PairRangePlan, PairStrategy, ShuffleBalance,
     };
+    pub use crate::observe::{AttemptRecord, TaskEvent, TaskObserver};
     pub use crate::partition::{
         AssignedPartitioner, HashPartitioner, IndexPartitioner, KeyMapPartitioner, Partitioner,
         RangePartitioner,

@@ -38,6 +38,7 @@ use crate::job::{
     Combiner, Emitter, JobConfig, Mapper, PartitionReducer, TaskContext, TaskId, TaskKind,
 };
 use crate::loadbalance::lpt_assign;
+use crate::observe::{AttemptRecord, TaskEvent};
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::progress::ProgressEvent;
 use crate::shuffle::{shuffle_partitions, GroupedPartition, PartitionBuckets};
@@ -171,8 +172,21 @@ struct TaskRun<T> {
     clean_cost: f64,
     /// Virtual time burned by dead attempts before the surviving one.
     wasted: f64,
+    /// Attempts consumed (1 = clean first run).
+    attempts: u32,
+    /// History of the dead attempts, for the lifecycle observer.
+    failures: Vec<AttemptRecord>,
     counters: Counters,
     events: Vec<ProgressEvent>,
+}
+
+/// A task that could not commit: the job-level error plus the attempt
+/// history the lifecycle observer (and the dead-letter queue built on it)
+/// wants alongside.
+struct TaskFailure {
+    error: MrError,
+    attempts: u32,
+    failures: Vec<AttemptRecord>,
 }
 
 /// Render a caught panic payload for error messages.
@@ -202,13 +216,14 @@ fn run_one_task<T>(
     kind: TaskKind,
     idx: usize,
     f: &(impl Fn(usize, &mut TaskContext) -> T + Sync),
-) -> Result<TaskRun<T>, MrError> {
+) -> Result<TaskRun<T>, TaskFailure> {
     let budget = cfg.faults.as_ref().map_or(1, |p| p.max_attempts.max(1));
     let legacy = cfg.faults.as_ref().map_or(0, |p| p.failures_for(kind, idx));
     let legacy_waste_fraction = cfg.faults.as_ref().map_or(0.0, |p| p.failure_fraction);
     let id = TaskId { kind, index: idx };
     let mut wasted = 0.0_f64;
     let mut retries = 0u32;
+    let mut failures: Vec<AttemptRecord> = Vec::new();
     let mut last_error = String::from("attempt budget exhausted");
     for attempt in 1..=budget {
         let injected = cfg
@@ -222,6 +237,11 @@ fn run_one_task<T>(
                 wasted += cfg.cost_model.task_startup;
                 retries += 1;
                 last_error = format!("injected crash at start of attempt {attempt}");
+                failures.push(AttemptRecord {
+                    attempt,
+                    error: last_error.clone(),
+                    wasted_cost: cfg.cost_model.task_startup,
+                });
                 continue;
             }
         }
@@ -235,9 +255,15 @@ fn run_one_task<T>(
                     // its output is lost; a fraction of its work plus the
                     // next attempt's startup is wasted. `legacy > 0` implies
                     // a fault plan, whose fraction was captured above.
-                    wasted += legacy_waste_fraction * ctx.now() + cfg.cost_model.task_startup;
+                    let delta = legacy_waste_fraction * ctx.now() + cfg.cost_model.task_startup;
+                    wasted += delta;
                     retries += 1;
                     last_error = format!("injected failure discarded attempt {attempt}");
+                    failures.push(AttemptRecord {
+                        attempt,
+                        error: last_error.clone(),
+                        wasted_cost: delta,
+                    });
                     continue;
                 }
                 ctx.events.rebase(wasted);
@@ -257,6 +283,8 @@ fn run_one_task<T>(
                     cost,
                     clean_cost: cost - wasted,
                     wasted,
+                    attempts: attempt,
+                    failures,
                     counters: ctx.counters,
                     events: ctx.events.into_events(),
                 });
@@ -264,24 +292,38 @@ fn run_one_task<T>(
             Err(payload) => {
                 // The borrow of `ctx` ended with the unwind; its clock holds
                 // the deterministic virtual time at which the attempt died.
-                wasted += ctx.now();
+                let delta = ctx.now();
+                wasted += delta;
                 retries += 1;
                 last_error = panic_message(payload.as_ref());
+                failures.push(AttemptRecord {
+                    attempt,
+                    error: last_error.clone(),
+                    wasted_cost: delta,
+                });
                 if cfg.faults.is_none() {
                     // No fault plan: keep the historical single-attempt
                     // contract where any panic aborts the job.
-                    return Err(MrError::TaskPanicked {
-                        task: id.to_string(),
-                        message: last_error,
+                    return Err(TaskFailure {
+                        error: MrError::TaskPanicked {
+                            task: id.to_string(),
+                            message: last_error,
+                        },
+                        attempts: attempt,
+                        failures,
                     });
                 }
             }
         }
     }
-    Err(MrError::TaskFailed {
-        task: id.to_string(),
+    Err(TaskFailure {
+        error: MrError::TaskFailed {
+            task: id.to_string(),
+            attempts: budget,
+            last_error,
+        },
         attempts: budget,
-        last_error,
+        failures,
     })
 }
 
@@ -296,9 +338,10 @@ fn run_tasks<T: Send>(
     kind: TaskKind,
     f: impl Fn(usize, &mut TaskContext) -> T + Sync,
 ) -> Result<Vec<TaskRun<T>>, MrError> {
+    // Per-index result slot a worker publishes into (None until its task ran).
+    type TaskSlot<T> = Mutex<Option<Result<TaskRun<T>, TaskFailure>>>;
     let threads = threads.max(1).min(count.max(1));
-    let results: Vec<Mutex<Option<TaskRun<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let failed: Mutex<Option<MrError>> = Mutex::new(None);
+    let results: Vec<TaskSlot<T>> = (0..count).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -312,35 +355,61 @@ fn run_tasks<T: Send>(
                 if idx >= count {
                     return;
                 }
-                match run_one_task(cfg, kind, idx, &f) {
-                    Ok(run) => *results[idx].lock() = Some(run),
-                    Err(err) => {
-                        let mut slot = failed.lock();
-                        if slot.is_none() {
-                            *slot = Some(err);
-                        }
-                    }
-                }
+                *results[idx].lock() = Some(run_one_task(cfg, kind, idx, &f));
             });
         }
     });
 
-    if let Some(err) = failed.into_inner() {
-        return Err(err);
-    }
+    // Post-barrier, on the driver thread, in task-index order: notify the
+    // lifecycle observer for EVERY task (all of them ran to completion
+    // before the scope joined), then surface the lowest-index failure.
+    // Keeping notification out of the worker loop makes the event order
+    // (and any journal built from it) deterministic regardless of worker
+    // interleaving, and leaves the hot path lock-free.
     let mut runs = Vec::with_capacity(count);
+    let mut first_failure: Option<MrError> = None;
     for (idx, slot) in results.into_iter().enumerate() {
+        let id = TaskId { kind, index: idx };
         match slot.into_inner() {
-            Some(run) => runs.push(run),
+            Some(Ok(run)) => {
+                if let Some(obs) = &cfg.observer {
+                    obs.notify(&TaskEvent::Finished {
+                        job: &cfg.name,
+                        id,
+                        attempts: run.attempts,
+                        failures: &run.failures,
+                        cost: run.cost,
+                        wasted: run.wasted,
+                    });
+                }
+                runs.push(run);
+            }
+            Some(Err(fail)) => {
+                if let Some(obs) = &cfg.observer {
+                    obs.notify(&TaskEvent::Exhausted {
+                        job: &cfg.name,
+                        id,
+                        attempts: fail.attempts,
+                        failures: &fail.failures,
+                    });
+                }
+                if first_failure.is_none() {
+                    first_failure = Some(fail.error);
+                }
+            }
             None => {
-                return Err(MrError::Internal(format!(
-                    "task {} finished without a result or an error",
-                    TaskId { kind, index: idx }
-                )))
+                if first_failure.is_none() {
+                    first_failure = Some(MrError::Internal(format!(
+                        "task {id} finished without a result or an error"
+                    )));
+                }
             }
         }
     }
-    Ok(runs)
+    match first_failure {
+        Some(err) => Err(err),
+        None => Ok(runs),
+    }
 }
 
 /// Speculative execution on the virtual clock (Hadoop's LATE heuristic).
@@ -634,6 +703,8 @@ where
             cost,
             clean_cost,
             wasted,
+            attempts,
+            failures,
             counters,
             events,
         } = run;
@@ -642,6 +713,8 @@ where
             cost,
             clean_cost,
             wasted,
+            attempts,
+            failures,
             counters,
             events,
         });

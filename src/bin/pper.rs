@@ -13,12 +13,16 @@
 
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use pper::datagen::{BookGen, Dataset, PubGen};
 use pper::er::{
-    correlation_clustering, run_with_budget, transitive_closure, BasicApproach, BasicConfig,
-    ClusterMetrics, ErConfig, MechanismKind, ProgressiveEr,
+    correlation_clustering, reprocess_dlq, resume_durable, run_durable, run_with_budget,
+    transitive_closure, BasicApproach, BasicConfig, ClusterMetrics, DurableOptions, ErConfig,
+    ErRunResult, MechanismKind, ProgressiveEr, ResultFingerprint,
 };
+use pper::journal::{recover, FileStore, JournalState, JournalStore};
+use pper::mapreduce::FaultPlan;
 use pper::schedule::TreeScheduler;
 
 fn main() -> ExitCode {
@@ -38,6 +42,8 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&opts),
         "run" => cmd_run(&opts),
         "basic" => cmd_basic(&opts),
+        "resume" => cmd_resume(&opts),
+        "dlq" => cmd_dlq(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -57,11 +63,21 @@ const USAGE: &str = "\
 pper — parallel progressive entity resolution (Altowim & Mehrotra, ICDE 2017)
 
 USAGE:
-  pper gen   --kind pubs|books --entities N [--seed S] --out FILE
-  pper run   --data FILE [--machines M] [--mechanism sn|psnm|hierarchy]
-             [--scheduler ours|nosplit|lpt] [--budget COST] [--cluster tc|cc]
-  pper basic --data FILE [--machines M] [--window W] [--threshold T]
-  pper help";
+  pper gen    --kind pubs|books --entities N [--seed S] --out FILE
+  pper run    --data FILE [--machines M] [--mechanism sn|psnm|hierarchy]
+              [--scheduler ours|nosplit|lpt] [--budget COST] [--cluster tc|cc]
+              [--durable --journal DIR --job-id ID [--checkpoint-every COST]
+               [--kill-after-events N] [--fail-reduce IDX:N] [--result-out FILE]]
+  pper resume --journal DIR --job-id ID [--data FILE] [--result-out FILE]
+              [--kill-after-events N]
+  pper dlq    --journal DIR --job-id ID [--reprocess] [--result-out FILE]
+  pper basic  --data FILE [--machines M] [--window W] [--threshold T]
+  pper help
+
+Durable mode journals every job event (fsync'd per append) under
+--journal DIR; `resume` continues a killed job bit-identically in a fresh
+process, and `dlq` lists or reprocesses tasks that exhausted their attempt
+budget.";
 
 #[derive(Default)]
 struct Opts {
@@ -77,6 +93,14 @@ struct Opts {
     cluster: Option<String>,
     window: Option<usize>,
     threshold: Option<f64>,
+    durable: bool,
+    journal: Option<String>,
+    job_id: Option<String>,
+    checkpoint_every: Option<f64>,
+    kill_after_events: Option<u64>,
+    fail_reduce: Option<String>,
+    result_out: Option<String>,
+    reprocess: bool,
 }
 
 impl Opts {
@@ -102,6 +126,14 @@ impl Opts {
                 "--cluster" => opts.cluster = Some(take()?),
                 "--window" => opts.window = Some(parse(&take()?)?),
                 "--threshold" => opts.threshold = Some(parse(&take()?)?),
+                "--durable" => opts.durable = true,
+                "--journal" => opts.journal = Some(take()?),
+                "--job-id" => opts.job_id = Some(take()?),
+                "--checkpoint-every" => opts.checkpoint_every = Some(parse(&take()?)?),
+                "--kill-after-events" => opts.kill_after_events = Some(parse(&take()?)?),
+                "--fail-reduce" => opts.fail_reduce = Some(take()?),
+                "--result-out" => opts.result_out = Some(take()?),
+                "--reprocess" => opts.reprocess = true,
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -173,11 +205,19 @@ fn print_curve(result: &pper::er::ErRunResult) {
     );
 }
 
-fn cmd_run(opts: &Opts) -> Result<(), String> {
-    let ds = load(opts)?;
-    let machines = opts.machines.unwrap_or(4);
-    let mut config = config_for(&ds, machines)?;
-    if let Some(m) = opts.mechanism.as_deref() {
+/// Build the run configuration from CLI-shaped settings. `resume` and
+/// `dlq` feed journaled `JobStarted` parameters through the same path, so
+/// a fresh process reconstructs the exact configuration of the original
+/// run.
+fn build_run_config(
+    ds: &Dataset,
+    machines: usize,
+    mechanism: Option<&str>,
+    scheduler: Option<&str>,
+    fail_reduce: Option<&str>,
+) -> Result<ErConfig, String> {
+    let mut config = config_for(ds, machines)?;
+    if let Some(m) = mechanism {
         config.mechanism = match m {
             "sn" => MechanismKind::Sn,
             "psnm" => MechanismKind::Psnm,
@@ -185,7 +225,7 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             other => return Err(format!("unknown mechanism '{other}'")),
         };
     }
-    if let Some(s) = opts.scheduler.as_deref() {
+    if let Some(s) = scheduler {
         config.schedule.scheduler = match s {
             "ours" => TreeScheduler::Progressive,
             "nosplit" => TreeScheduler::NoSplit,
@@ -193,6 +233,51 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
             other => return Err(format!("unknown scheduler '{other}'")),
         };
     }
+    if let Some(spec) = fail_reduce {
+        let (idx, n) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("--fail-reduce wants IDX:N, got '{spec}'"))?;
+        config.faults = Some(FaultPlan::fail_reduce(parse(idx)?, parse(n)?));
+    }
+    Ok(config)
+}
+
+/// Write the bit-exact result fingerprint where `--result-out` points, for
+/// cross-process byte-for-byte comparison.
+fn write_result_out(opts: &Opts, result: &ErRunResult) -> Result<(), String> {
+    if let Some(path) = opts.result_out.as_deref() {
+        let json = ResultFingerprint::of(result)
+            .to_json()
+            .map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn open_journal(opts: &Opts) -> Result<(Arc<dyn JournalStore>, String), String> {
+    let dir = opts.journal.as_deref().ok_or("need --journal DIR")?;
+    let job_id = opts.job_id.as_deref().ok_or("need --job-id ID")?;
+    let store = FileStore::shared(dir).map_err(|e| e.to_string())?;
+    Ok((store, job_id.to_string()))
+}
+
+fn durable_options(opts: &Opts, every: f64) -> DurableOptions {
+    DurableOptions {
+        checkpoint_every: opts.checkpoint_every.unwrap_or(every),
+        kill_after_events: opts.kill_after_events,
+    }
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let ds = load(opts)?;
+    let machines = opts.machines.unwrap_or(4);
+    let config = build_run_config(
+        &ds,
+        machines,
+        opts.mechanism.as_deref(),
+        opts.scheduler.as_deref(),
+        opts.fail_reduce.as_deref(),
+    )?;
     println!(
         "dataset {} ({} entities, {} true pairs); μ = {machines}, mechanism {}, scheduler {:?}",
         ds.name,
@@ -201,6 +286,35 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         config.mechanism.name(),
         config.schedule.scheduler,
     );
+
+    if opts.durable {
+        if opts.budget.is_some() {
+            return Err("--durable and --budget cannot be combined".into());
+        }
+        let (store, job_id) = open_journal(opts)?;
+        // Record everything `pper resume` needs to rebuild this exact
+        // configuration in a fresh process.
+        let mut params: Vec<(String, String)> = Vec::new();
+        if let Some(data) = opts.data.as_deref() {
+            params.push(("data".into(), data.to_string()));
+        }
+        params.push(("machines".into(), machines.to_string()));
+        for (key, val) in [
+            ("mechanism", opts.mechanism.as_deref()),
+            ("scheduler", opts.scheduler.as_deref()),
+            ("fail_reduce", opts.fail_reduce.as_deref()),
+        ] {
+            if let Some(v) = val {
+                params.push((key.into(), v.to_string()));
+            }
+        }
+        let dopts = durable_options(opts, 2_000.0);
+        let er = ProgressiveEr::new(config);
+        let result =
+            run_durable(&er, &ds, &store, &job_id, &params, &dopts).map_err(|e| e.to_string())?;
+        print_curve(&result);
+        return write_result_out(opts, &result);
+    }
 
     let result = if let Some(budget) = opts.budget {
         let report = run_with_budget(&config, &ds, budget).map_err(|e| e.to_string())?;
@@ -234,6 +348,100 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Recover a job's journal (dropping any torn tail from a mid-append kill)
+/// and fold the surviving events into the resume state.
+fn recover_job(opts: &Opts) -> Result<(Arc<dyn JournalStore>, String, JournalState), String> {
+    let (store, job_id) = open_journal(opts)?;
+    let rec = recover(&store, &job_id).map_err(|e| e.to_string())?;
+    if !rec.report.clean() {
+        eprintln!(
+            "journal recovery: dropped {} trailing byte(s){}",
+            rec.report.dropped_bytes,
+            if rec.report.torn_tail {
+                " (torn record from a mid-append kill)"
+            } else {
+                " (corruption)"
+            }
+        );
+    }
+    Ok((store, job_id, JournalState::replay(&rec.events)))
+}
+
+/// Rebuild the dataset and pipeline a journaled job ran with, from its
+/// `JobStarted` parameters (with `--data` as an override for relocated
+/// dataset files).
+fn rebuild_pipeline(opts: &Opts, state: &JournalState) -> Result<(Dataset, ProgressiveEr), String> {
+    let data = opts
+        .data
+        .clone()
+        .or_else(|| state.param("data").map(str::to_string))
+        .ok_or("journal records no dataset path; pass --data FILE")?;
+    let file = std::fs::File::open(&data).map_err(|e| format!("{data}: {e}"))?;
+    let ds = Dataset::read_jsonl(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let machines = match state.param("machines") {
+        Some(m) => parse(m)?,
+        None => 4,
+    };
+    let config = build_run_config(
+        &ds,
+        machines,
+        state.param("mechanism"),
+        state.param("scheduler"),
+        state.param("fail_reduce"),
+    )?;
+    Ok((ds, ProgressiveEr::new(config)))
+}
+
+fn cmd_resume(opts: &Opts) -> Result<(), String> {
+    let (store, job_id, state) = recover_job(opts)?;
+    let (ds, er) = rebuild_pipeline(opts, &state)?;
+    println!(
+        "resuming job '{job_id}': {} task event(s) journaled, checkpoint {}",
+        state.tasks_finished,
+        if state.last_checkpoint.is_some() {
+            "present"
+        } else {
+            "not yet cut"
+        }
+    );
+    let dopts = durable_options(opts, 2_000.0);
+    let result = resume_durable(&er, &ds, &store, &job_id, &dopts).map_err(|e| e.to_string())?;
+    print_curve(&result);
+    write_result_out(opts, &result)
+}
+
+fn cmd_dlq(opts: &Opts) -> Result<(), String> {
+    let (store, job_id, state) = recover_job(opts)?;
+    if !opts.reprocess {
+        if state.dlq.is_empty() {
+            println!("job '{job_id}': dead-letter queue is empty");
+            return Ok(());
+        }
+        println!("job '{job_id}': {} dead-lettered task(s)", state.dlq.len());
+        for entry in &state.dlq {
+            println!(
+                "  #{} {}-{} after {} attempt(s); last error: {}",
+                entry.seq,
+                entry.kind.name(),
+                entry.index,
+                entry.attempts,
+                entry.failures.last().map_or("<none>", |f| f.error.as_str())
+            );
+            println!("     context: {}", entry.context_json);
+        }
+        return Ok(());
+    }
+    let (ds, er) = rebuild_pipeline(opts, &state)?;
+    println!(
+        "job '{job_id}': reprocessing {} dead-lettered task(s) with fault injection cleared",
+        state.dlq.len()
+    );
+    let dopts = durable_options(opts, 2_000.0);
+    let result = reprocess_dlq(&er, &ds, &store, &job_id, &dopts).map_err(|e| e.to_string())?;
+    print_curve(&result);
+    write_result_out(opts, &result)
 }
 
 fn cmd_basic(opts: &Opts) -> Result<(), String> {

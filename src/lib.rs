@@ -16,10 +16,12 @@
 //! | [`progressive`] | `pper-progressive` | progressive mechanisms (SN hint, PSNM, Popcorn) |
 //! | [`schedule`] | `pper-schedule` | progressive schedule generation |
 //! | [`er`] | `pper-er` | the two-job pipeline, baselines, quality metrics |
+//! | [`journal`] | `pper-journal` | durable job journal, recovery, dead-letter queue |
 
 pub use pper_blocking as blocking;
 pub use pper_datagen as datagen;
 pub use pper_er as er;
+pub use pper_journal as journal;
 pub use pper_mapreduce as mapreduce;
 pub use pper_progressive as progressive;
 pub use pper_schedule as schedule;
