@@ -1,0 +1,73 @@
+//! CI perf-regression gate: compare fresh `BENCH_*.json` reports against
+//! the committed baselines.
+//!
+//! ```text
+//! cargo run --release -p pper-bench --bin bench_kernels -- --quick
+//! cargo run --release -p pper-bench --bin bench_shuffle -- --quick
+//! cargo run --release -p pper-bench --bin bench_check -- \
+//!     --baseline-dir results --fresh-dir target/experiments \
+//!     --reports kernels,shuffle --min-ratio 0.25
+//! ```
+//!
+//! Exits non-zero when any gated record's fresh throughput falls below
+//! `min_ratio ×` its committed baseline, or when an expected report file is
+//! missing on either side. See `pper_bench::check` for the comparison
+//! rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pper_bench::check::run_check;
+
+fn main() -> ExitCode {
+    let mut baseline_dir = PathBuf::from("results");
+    let mut fresh_dir = PathBuf::from("target/experiments");
+    let mut min_ratio = 0.25f64;
+    let mut reports = String::from("kernels,shuffle");
+
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline-dir" => {
+                i += 1;
+                baseline_dir = PathBuf::from(&args[i]);
+            }
+            "--fresh-dir" => {
+                i += 1;
+                fresh_dir = PathBuf::from(&args[i]);
+            }
+            "--min-ratio" => {
+                i += 1;
+                min_ratio = args[i].parse().expect("--min-ratio takes a number");
+            }
+            "--reports" => {
+                i += 1;
+                reports = args[i].clone();
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+
+    let names: Vec<&str> = reports
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let summary = run_check(&baseline_dir, &fresh_dir, &names, min_ratio);
+    println!(
+        "perf gate: {} vs {} (floor {min_ratio}x) over {}",
+        fresh_dir.display(),
+        baseline_dir.display(),
+        reports
+    );
+    print!("{}", summary.render_text());
+    if summary.passed() {
+        println!("perf gate passed ({} records)", summary.records.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("perf gate FAILED ({} failures)", summary.failures.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,238 @@
+//! Perf-regression gate over committed `BENCH_*.json` baselines.
+//!
+//! CI regenerates the micro-benchmark reports on quick configurations and
+//! compares each record's throughput against the committed baseline under
+//! `results/`. A record fails when
+//! `fresh.ops_per_sec < min_ratio × baseline.ops_per_sec`; a record present
+//! in the baseline but missing from the fresh run also fails (renames must
+//! update the baseline in the same commit). Records new in the fresh run
+//! pass with a note — they gate once committed.
+//!
+//! The ratio is deliberately loose (CI machines are noisy and shared);
+//! the gate exists to catch order-of-magnitude regressions — an
+//! accidentally quadratic kernel, a lost fast path — not 10% drift.
+
+use std::path::Path;
+
+use crate::BenchReport;
+
+/// Comparison of one record across baseline and fresh runs.
+#[derive(Debug, Clone)]
+pub struct RecordCheck {
+    /// Record name, e.g. `"pairs/prepared"`.
+    pub name: String,
+    /// Committed ops/sec.
+    pub baseline_ops: f64,
+    /// Freshly measured ops/sec.
+    pub fresh_ops: f64,
+    /// `fresh / baseline` (∞ when the baseline is 0).
+    pub ratio: f64,
+    /// True when the record clears the gate.
+    pub ok: bool,
+}
+
+/// Outcome of gating one or more reports.
+#[derive(Debug, Default)]
+pub struct CheckSummary {
+    /// Per-record comparisons across all reports, in report order.
+    pub records: Vec<RecordCheck>,
+    /// Human-readable failures (regressions, missing records/files).
+    pub failures: Vec<String>,
+    /// Non-fatal observations (new records not yet in the baseline).
+    pub notes: Vec<String>,
+}
+
+impl CheckSummary {
+    /// True when every gated record passed and nothing was missing.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Render an aligned text table of the comparisons.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<40} {:>14} {:>14} {:>8}  {}\n",
+            "record", "baseline o/s", "fresh o/s", "ratio", "gate"
+        ));
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:<40} {:>14.0} {:>14.0} {:>8.2}  {}\n",
+                r.name,
+                r.baseline_ops,
+                r.fresh_ops,
+                r.ratio,
+                if r.ok { "ok" } else { "FAIL" }
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("-- note: {n}\n"));
+        }
+        for f in &self.failures {
+            out.push_str(&format!("-- FAIL: {f}\n"));
+        }
+        out
+    }
+}
+
+/// Compare one fresh report against its baseline, appending to `summary`.
+pub fn check_report(
+    baseline: &BenchReport,
+    fresh: &BenchReport,
+    min_ratio: f64,
+    summary: &mut CheckSummary,
+) {
+    for base in &baseline.records {
+        let Some(new) = fresh.records.iter().find(|r| r.name == base.name) else {
+            summary.failures.push(format!(
+                "{}: record \"{}\" is in the baseline but missing from the fresh run",
+                baseline.name, base.name
+            ));
+            continue;
+        };
+        let ratio = if base.ops_per_sec > 0.0 {
+            new.ops_per_sec / base.ops_per_sec
+        } else {
+            f64::INFINITY
+        };
+        let ok = ratio >= min_ratio;
+        if !ok {
+            summary.failures.push(format!(
+                "{}: \"{}\" regressed to {:.2}x of baseline ({:.0} → {:.0} ops/sec, floor {min_ratio}x)",
+                baseline.name, base.name, ratio, base.ops_per_sec, new.ops_per_sec
+            ));
+        }
+        summary.records.push(RecordCheck {
+            name: format!("{}/{}", baseline.name, base.name),
+            baseline_ops: base.ops_per_sec,
+            fresh_ops: new.ops_per_sec,
+            ratio,
+            ok,
+        });
+    }
+    for new in &fresh.records {
+        if !baseline.records.iter().any(|r| r.name == new.name) {
+            summary.notes.push(format!(
+                "{}: record \"{}\" is new (not gated until committed to the baseline)",
+                fresh.name, new.name
+            ));
+        }
+    }
+}
+
+/// Load a `BENCH_<name>.json` report from `dir`.
+pub fn load_report(dir: &Path, name: &str) -> Result<BenchReport, String> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Gate the named reports: load `BENCH_<name>.json` from both directories
+/// and compare record-by-record. A missing file on either side is a
+/// failure (the gate must never silently pass because a run was skipped).
+pub fn run_check(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    reports: &[&str],
+    min_ratio: f64,
+) -> CheckSummary {
+    let mut summary = CheckSummary::default();
+    for name in reports {
+        match (
+            load_report(baseline_dir, name),
+            load_report(fresh_dir, name),
+        ) {
+            (Ok(base), Ok(fresh)) => check_report(&base, &fresh, min_ratio, &mut summary),
+            (Err(e), _) => summary.failures.push(format!("baseline {name}: {e}")),
+            (_, Err(e)) => summary.failures.push(format!("fresh {name}: {e}")),
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BenchRecord;
+
+    fn report(name: &str, records: &[(&str, f64)]) -> BenchReport {
+        let mut rep = BenchReport::new(name, "test");
+        for (rec, ops) in records {
+            rep.push(BenchRecord {
+                name: (*rec).into(),
+                iterations: 100,
+                ns_per_op: if *ops > 0.0 { 1e9 / ops } else { 0.0 },
+                ops_per_sec: *ops,
+            });
+        }
+        rep
+    }
+
+    #[test]
+    fn passes_within_ratio() {
+        let base = report("k", &[("a", 1000.0), ("b", 500.0)]);
+        let fresh = report("k", &[("a", 400.0), ("b", 2000.0)]);
+        let mut s = CheckSummary::default();
+        check_report(&base, &fresh, 0.25, &mut s);
+        assert!(s.passed(), "{:?}", s.failures);
+        assert_eq!(s.records.len(), 2);
+        assert!(s.render_text().contains("ok"));
+    }
+
+    #[test]
+    fn fails_on_injected_regression() {
+        let base = report("k", &[("a", 1000.0)]);
+        let fresh = report("k", &[("a", 100.0)]); // 0.1x < 0.25x floor
+        let mut s = CheckSummary::default();
+        check_report(&base, &fresh, 0.25, &mut s);
+        assert!(!s.passed());
+        assert!(s.failures[0].contains("regressed"));
+        assert!(s.render_text().contains("FAIL"));
+    }
+
+    #[test]
+    fn fails_on_missing_record_and_notes_new_ones() {
+        let base = report("k", &[("gone", 10.0)]);
+        let fresh = report("k", &[("brand-new", 10.0)]);
+        let mut s = CheckSummary::default();
+        check_report(&base, &fresh, 0.25, &mut s);
+        assert!(!s.passed());
+        assert!(s.failures[0].contains("missing"));
+        assert_eq!(s.notes.len(), 1);
+    }
+
+    #[test]
+    fn zero_baseline_never_divides_by_zero() {
+        let base = report("k", &[("z", 0.0)]);
+        let fresh = report("k", &[("z", 5.0)]);
+        let mut s = CheckSummary::default();
+        check_report(&base, &fresh, 0.25, &mut s);
+        assert!(s.passed());
+        assert!(s.records[0].ratio.is_infinite());
+    }
+
+    #[test]
+    fn end_to_end_over_files() {
+        let dir = std::env::temp_dir().join(format!("pper-bench-check-{}", std::process::id()));
+        let baseline_dir = dir.join("baseline");
+        let fresh_dir = dir.join("fresh");
+        std::fs::create_dir_all(&baseline_dir).unwrap();
+        std::fs::create_dir_all(&fresh_dir).unwrap();
+
+        report("kernels", &[("pairs", 1000.0)]).emit(&baseline_dir);
+        report("kernels", &[("pairs", 900.0)]).emit(&fresh_dir);
+        let s = run_check(&baseline_dir, &fresh_dir, &["kernels"], 0.25);
+        assert!(s.passed(), "{:?}", s.failures);
+
+        // Injected regression must fail the gate.
+        report("kernels", &[("pairs", 10.0)]).emit(&fresh_dir);
+        let s = run_check(&baseline_dir, &fresh_dir, &["kernels"], 0.25);
+        assert!(!s.passed());
+
+        // A missing fresh file must fail, not pass silently.
+        let s = run_check(&baseline_dir, &fresh_dir, &["shuffle"], 0.25);
+        assert!(!s.passed());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

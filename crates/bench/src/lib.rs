@@ -22,6 +22,8 @@ use std::path::PathBuf;
 
 use pper_er::metrics::RecallCurve;
 
+pub mod check;
+
 /// Parsed common CLI options for experiment binaries.
 #[derive(Debug, Clone)]
 pub struct ExpOptions {
@@ -175,7 +177,7 @@ impl Figure {
 }
 
 /// One timed measurement inside a [`BenchReport`].
-#[derive(Debug, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct BenchRecord {
     /// Measurement identifier, e.g. `"pairs/string"` or `"levenshtein/prepared"`.
     pub name: String,
@@ -221,7 +223,7 @@ impl BenchRecord {
 
 /// A machine-readable micro-benchmark report, persisted as
 /// `BENCH_<name>.json` so CI and scripts can track throughput over time.
-#[derive(Debug, serde::Serialize)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct BenchReport {
     /// Report identifier, e.g. "kernels".
     pub name: String,

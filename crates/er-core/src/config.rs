@@ -154,6 +154,13 @@ pub struct ErConfig {
     /// histories, and exhaustion for the dead-letter queue. `None` (the
     /// default) observes nothing and costs nothing.
     pub observer: Option<pper_mapreduce::TaskObserver>,
+    /// Memory budget for the statistics job's shuffle. `None` (the default)
+    /// groups every partition in memory; `Some(cfg)` spills partitions
+    /// larger than `cfg.max_partition_records` through an external sorter
+    /// with bounded RAM (see `pper_mapreduce::ShuffleSpillConfig`). The
+    /// grouped output — and therefore every downstream statistic — is
+    /// bit-identical either way; only the working set changes.
+    pub shuffle_spill: Option<pper_mapreduce::ShuffleSpillConfig>,
 }
 
 impl std::fmt::Debug for ErConfig {
@@ -202,6 +209,7 @@ impl ErConfig {
             shuffle_balance: None,
             use_prepared: true,
             observer: None,
+            shuffle_spill: None,
         }
     }
 
@@ -238,6 +246,7 @@ impl ErConfig {
             shuffle_balance: None,
             use_prepared: true,
             observer: None,
+            shuffle_spill: None,
         }
     }
 
@@ -262,6 +271,13 @@ impl ErConfig {
     /// Enable LATE-style speculative execution for straggler tasks.
     pub fn with_speculation(mut self, spec: pper_mapreduce::SpeculationConfig) -> Self {
         self.speculation = Some(spec);
+        self
+    }
+
+    /// Bound the statistics job's shuffle memory: partitions above the
+    /// configured record budget group through a disk-backed external sort.
+    pub fn with_shuffle_spill(mut self, spill: pper_mapreduce::ShuffleSpillConfig) -> Self {
+        self.shuffle_spill = Some(spill);
         self
     }
 

@@ -26,8 +26,44 @@ use crate::config::ErConfig;
 /// different functions apart.
 pub type BlockKey = (u8, String);
 
+/// [`Entity`] wrapped for the spilling shuffle path. Both `Entity` and
+/// `SpillCodec` are foreign to this crate, so the orphan rule requires a
+/// local newtype to give the map-output value a binary encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillEntity(pub Entity);
+
+impl SpillCodec for SpillEntity {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        self.0.id.encode(buf);
+        self.0.attrs.encode(buf);
+    }
+    fn decode(buf: &mut bytes::Bytes) -> Result<Self, MrError> {
+        let id = EntityId::decode(buf)?;
+        let attrs = Vec::<String>::decode(buf)?;
+        Ok(SpillEntity(Entity::new(id, attrs)))
+    }
+}
+
 struct AnnotateMapper<'a> {
     families: &'a [BlockingFamily],
+}
+
+/// Shared map logic: emit one `(family, root key)` record per main blocking
+/// function. `wrap` adapts the emitted value for the in-memory (`Entity`)
+/// and spilling (`SpillEntity`) shuffles without duplicating the charges.
+fn annotate<V>(
+    families: &[BlockingFamily],
+    entity: &Entity,
+    ctx: &mut TaskContext,
+    out: &mut Emitter<BlockKey, V>,
+    wrap: impl Fn(Entity) -> V,
+) {
+    for (f, family) in families.iter().enumerate() {
+        // Key extraction is a char-scan: charge it like an entity read.
+        ctx.charge(ctx.cost_model.read_per_entity * 0.25);
+        out.emit((f as u8, family.root_key(entity)), wrap(entity.clone()));
+    }
+    ctx.counters.incr("job1_entities_annotated");
 }
 
 impl Mapper for AnnotateMapper<'_> {
@@ -36,17 +72,77 @@ impl Mapper for AnnotateMapper<'_> {
     type Value = Entity;
 
     fn map(&self, entity: &Entity, ctx: &mut TaskContext, out: &mut Emitter<BlockKey, Entity>) {
-        for (f, family) in self.families.iter().enumerate() {
-            // Key extraction is a char-scan: charge it like an entity read.
-            ctx.charge(ctx.cost_model.read_per_entity * 0.25);
-            out.emit((f as u8, family.root_key(entity)), entity.clone());
-        }
-        ctx.counters.incr("job1_entities_annotated");
+        annotate(self.families, entity, ctx, out, |e| e);
+    }
+}
+
+struct AnnotateSpillMapper<'a> {
+    families: &'a [BlockingFamily],
+}
+
+impl Mapper for AnnotateSpillMapper<'_> {
+    type Input = Entity;
+    type Key = BlockKey;
+    type Value = SpillEntity;
+
+    fn map(
+        &self,
+        entity: &Entity,
+        ctx: &mut TaskContext,
+        out: &mut Emitter<BlockKey, SpillEntity>,
+    ) {
+        annotate(self.families, entity, ctx, out, SpillEntity);
     }
 }
 
 struct StatsReducer<'a> {
     families: &'a [BlockingFamily],
+}
+
+/// Shared reduce logic for one root block, generic over how the values are
+/// borrowed so the in-memory (`&[Entity]`) and spilling (`&[SpillEntity]`)
+/// paths produce identical trees, statistics, charges, and counters.
+fn reduce_root_block<'v>(
+    families: &[BlockingFamily],
+    key: &BlockKey,
+    values: impl ExactSizeIterator<Item = &'v Entity>,
+    ctx: &mut TaskContext,
+    out: &mut Vec<TreeStats>,
+) {
+    if values.len() < 2 {
+        ctx.counters.incr("job1_singleton_blocks_dropped");
+        return;
+    }
+    let family_index = key.0 as usize;
+    let family = &families[family_index];
+
+    let n = values.len();
+    let mut entities: HashMap<EntityId, &Entity> = HashMap::with_capacity(n);
+    let mut signatures: HashMap<EntityId, Signature> = HashMap::with_capacity(n);
+    let mut members = Vec::with_capacity(n);
+    for e in values {
+        members.push(e.id);
+        signatures.insert(e.id, families.iter().map(|f| f.root_key(e)).collect());
+        entities.insert(e.id, e);
+    }
+
+    // Tree construction: one key extraction per member per level.
+    ctx.charge(ctx.cost_model.read_per_entity * (members.len() * family.depth()) as f64);
+    let tree = Tree::build(family_index, family, key.1.clone(), members, &entities);
+
+    // Overlap statistics: signature grouping per block per subset —
+    // charge one pass per block.
+    let stat_cost: f64 = tree
+        .blocks
+        .iter()
+        .map(|b| ctx.cost_model.read_per_entity * b.size() as f64)
+        .sum();
+    ctx.charge(stat_cost);
+
+    let stats = TreeStats::from_tree(&tree, &signatures);
+    ctx.counters.incr("job1_trees_built");
+    ctx.counters.add("job1_blocks", tree.len() as u64);
+    out.push(stats);
 }
 
 impl Reducer for StatsReducer<'_> {
@@ -61,39 +157,27 @@ impl Reducer for StatsReducer<'_> {
         ctx: &mut TaskContext,
         out: &mut Vec<TreeStats>,
     ) {
-        if values.len() < 2 {
-            ctx.counters.incr("job1_singleton_blocks_dropped");
-            return;
-        }
-        let family_index = key.0 as usize;
-        let family = &self.families[family_index];
+        reduce_root_block(self.families, key, values.iter(), ctx, out);
+    }
+}
 
-        let mut entities: HashMap<EntityId, &Entity> = HashMap::with_capacity(values.len());
-        let mut signatures: HashMap<EntityId, Signature> = HashMap::with_capacity(values.len());
-        let mut members = Vec::with_capacity(values.len());
-        for e in values {
-            members.push(e.id);
-            signatures.insert(e.id, self.families.iter().map(|f| f.root_key(e)).collect());
-            entities.insert(e.id, e);
-        }
+struct StatsSpillReducer<'a> {
+    families: &'a [BlockingFamily],
+}
 
-        // Tree construction: one key extraction per member per level.
-        ctx.charge(ctx.cost_model.read_per_entity * (members.len() * family.depth()) as f64);
-        let tree = Tree::build(family_index, family, key.1.clone(), members, &entities);
+impl Reducer for StatsSpillReducer<'_> {
+    type Key = BlockKey;
+    type Value = SpillEntity;
+    type Output = TreeStats;
 
-        // Overlap statistics: signature grouping per block per subset —
-        // charge one pass per block.
-        let stat_cost: f64 = tree
-            .blocks
-            .iter()
-            .map(|b| ctx.cost_model.read_per_entity * b.size() as f64)
-            .sum();
-        ctx.charge(stat_cost);
-
-        let stats = TreeStats::from_tree(&tree, &signatures);
-        ctx.counters.incr("job1_trees_built");
-        ctx.counters.add("job1_blocks", tree.len() as u64);
-        out.push(stats);
+    fn reduce(
+        &self,
+        key: &BlockKey,
+        values: &[SpillEntity],
+        ctx: &mut TaskContext,
+        out: &mut Vec<TreeStats>,
+    ) {
+        reduce_root_block(self.families, key, values.iter().map(|s| &s.0), ctx, out);
     }
 }
 
@@ -117,13 +201,27 @@ pub fn run_job1(ds: &Dataset, config: &ErConfig) -> Result<Job1Result, MrError> 
     cfg.speculation = config.speculation;
     cfg.observer = config.observer.clone();
 
-    let mapper = AnnotateMapper {
-        families: &config.families,
+    // The spilling path re-routes oversized shuffle partitions through a
+    // disk-backed external sort; the grouped output is bit-identical to the
+    // in-memory tag sort (see `pper_mapreduce::shuffle`), so both branches
+    // feed the same reduce logic and yield the same trees and costs.
+    let result = if let Some(spill) = &config.shuffle_spill {
+        let mapper = AnnotateSpillMapper {
+            families: &config.families,
+        };
+        let reducer = GroupReducer::new(StatsSpillReducer {
+            families: &config.families,
+        });
+        run_job_spilling(&cfg, &mapper, &reducer, spill, &ds.entities)?
+    } else {
+        let mapper = AnnotateMapper {
+            families: &config.families,
+        };
+        let reducer = GroupReducer::new(StatsReducer {
+            families: &config.families,
+        });
+        run_job(&cfg, &mapper, &reducer, &ds.entities)?
     };
-    let reducer = GroupReducer::new(StatsReducer {
-        families: &config.families,
-    });
-    let result = run_job(&cfg, &mapper, &reducer, &ds.entities)?;
 
     let mut trees = result.outputs;
     // Deterministic order regardless of reduce partitioning.
@@ -172,6 +270,44 @@ mod tests {
         assert!(job.virtual_cost > 0.0);
         assert_eq!(job.counters.get("job1_entities_annotated"), 9);
         assert!(job.counters.get("job1_singleton_blocks_dropped") >= 3);
+    }
+
+    #[test]
+    fn job1_spilled_shuffle_matches_in_memory() {
+        let ds = PubGen::new(900, 63).generate();
+        let baseline = run_job1(&ds, &ErConfig::citeseer(3)).unwrap();
+        // Budget of 40 records per partition forces nearly every partition
+        // of a 900×3-record shuffle to spill; run at several worker-thread
+        // counts to cover the parallel spill dispatch too.
+        for threads in [1usize, 2, 8] {
+            let mut config = ErConfig::citeseer(3).with_shuffle_spill(ShuffleSpillConfig::new(40));
+            config.worker_threads = Some(threads);
+            let spilled = run_job1(&ds, &config).unwrap();
+            assert_eq!(
+                spilled.stats.trees, baseline.stats.trees,
+                "threads={threads}"
+            );
+            assert_eq!(
+                spilled.virtual_cost.to_bits(),
+                baseline.virtual_cost.to_bits(),
+                "threads={threads}"
+            );
+            assert!(
+                spilled.counters.get("shuffle_spilled_partitions") > 0,
+                "threads={threads}: spill never engaged"
+            );
+            assert!(spilled.counters.get("shuffle_spill_bytes") > 0);
+        }
+        assert_eq!(baseline.counters.get("shuffle_spilled_partitions"), 0);
+    }
+
+    #[test]
+    fn spill_entity_round_trips() {
+        let e = Entity::new(7, vec!["Title".into(), String::new(), "ünïcode ✓".into()]);
+        let mut buf = bytes::BytesMut::new();
+        SpillEntity(e.clone()).encode(&mut buf);
+        let mut bytes = buf.freeze();
+        assert_eq!(SpillEntity::decode(&mut bytes).unwrap().0, e);
     }
 
     #[test]

@@ -28,6 +28,7 @@ const D1_CRATES: &[&str] = &[
     "schedule",
     "progressive",
     "journal",
+    "store",
 ];
 
 /// Hash container type names whose bindings D1 tracks.

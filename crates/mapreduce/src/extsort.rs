@@ -4,8 +4,16 @@
 //! budget: in-memory runs are spilled to disk as they fill, then k-way
 //! merged. [`ExternalSorter`] reproduces that component so jobs whose
 //! intermediate data exceeds memory can still sort deterministically; the
-//! in-memory simulator uses it for shuffle realism tests and for
-//! shuffle-byte accounting at scale.
+//! in-memory simulator uses it for shuffle realism tests, for
+//! shuffle-byte accounting at scale, and — via [`ExternalSorter::into_stream`]
+//! — as the out-of-core backbone for paper-scale runs, where the merged
+//! order is consumed record by record without ever materializing the
+//! sorted output.
+//!
+//! Run files are length-framed (`u32` little-endian record length, then the
+//! [`SpillCodec`] payload) so the merge streams each run through a small
+//! [`BufReader`] window instead of decoding whole runs into memory: the
+//! merge working set is `O(runs)`, not `O(records)`.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -13,7 +21,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 
-use bytes::{Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::error::MrError;
 use crate::spill::SpillCodec;
@@ -26,6 +34,8 @@ pub struct ExternalSorter<T> {
     buffer: Vec<T>,
     runs: Vec<SpilledRun>,
     dir: PathBuf,
+    /// Total bytes written to run files (frame headers included).
+    spilled_bytes: u64,
     /// Process-unique sorter id; spill files are named
     /// `pper-extsort-<pid>-<sorter>-<run>.run` so names are collision-free
     /// across sorters and processes without consulting the wall clock.
@@ -53,10 +63,18 @@ impl<T: SpillCodec + Ord> ExternalSorter<T> {
             buffer: Vec::with_capacity(run_capacity.min(4096)),
             runs: Vec::new(),
             dir: std::env::temp_dir(),
+            spilled_bytes: 0,
             // lint:allow(relaxed) uniqueness counter: no ordering with other
             // memory is required, every fetch_add still returns a distinct id.
             sorter_id: NEXT_SORTER_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
+    }
+
+    /// Spill runs into `dir` instead of the system temp directory (e.g. to
+    /// keep large scale-run spills on a scratch disk).
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = dir.into();
+        self
     }
 
     /// Push one record, spilling the current run if the buffer is full.
@@ -73,6 +91,21 @@ impl<T: SpillCodec + Ord> ExternalSorter<T> {
         self.runs.len()
     }
 
+    /// Total bytes written to run files so far (frame headers included).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled_bytes
+    }
+
+    /// Total records pushed so far (spilled runs plus the in-memory tail).
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|r| r.records).sum::<usize>() + self.buffer.len()
+    }
+
+    /// True when no record has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     fn spill_run(&mut self) -> Result<(), MrError> {
         if self.buffer.is_empty() {
             return Ok(());
@@ -85,8 +118,14 @@ impl<T: SpillCodec + Ord> ExternalSorter<T> {
             self.runs.len()
         ));
         let mut encoded = BytesMut::new();
+        let mut record_buf = BytesMut::new();
         for record in &self.buffer {
-            record.encode(&mut encoded);
+            record_buf.clear();
+            record.encode(&mut record_buf);
+            let len = u32::try_from(record_buf.len())
+                .map_err(|_| MrError::Spill("record exceeds u32 frame".into()))?;
+            encoded.put_slice(&len.to_le_bytes());
+            encoded.put_slice(&record_buf);
         }
         let file = File::create(&path).map_err(|e| MrError::Spill(e.to_string()))?;
         let mut writer = BufWriter::new(file);
@@ -94,6 +133,7 @@ impl<T: SpillCodec + Ord> ExternalSorter<T> {
             .write_all(&encoded)
             .and_then(|()| writer.flush())
             .map_err(|e| MrError::Spill(e.to_string()))?;
+        self.spilled_bytes += encoded.len() as u64;
         self.runs.push(SpilledRun {
             path,
             records: self.buffer.len(),
@@ -104,69 +144,42 @@ impl<T: SpillCodec + Ord> ExternalSorter<T> {
 
     /// Finish: merge all runs (and the in-memory tail) into one ascending
     /// vector. Temporary files are removed.
-    pub fn finish(mut self) -> Result<Vec<T>, MrError> {
+    pub fn finish(self) -> Result<Vec<T>, MrError> {
+        let mut stream = self.into_stream()?;
+        let mut out = Vec::new();
+        for item in stream.by_ref() {
+            out.push(item?);
+        }
+        Ok(out)
+    }
+
+    /// Finish into a streaming k-way merge: records come back in ascending
+    /// order one at a time, with only one buffered frame per run in memory.
+    /// Run files are removed when the stream is dropped.
+    pub fn into_stream(mut self) -> Result<SortedStream<T>, MrError> {
         self.buffer.sort();
         let tail = std::mem::take(&mut self.buffer);
+        let runs = std::mem::take(&mut self.runs);
 
-        // Decode each run fully, then k-way merge with a heap. Runs were
-        // bounded by the memory budget at *write* time; for the merge we
-        // stream them run-by-run via iterators over decoded vectors.
-        let mut sources: Vec<std::vec::IntoIter<T>> = Vec::with_capacity(self.runs.len() + 1);
-        for run in &self.runs {
-            let mut raw = Vec::new();
-            File::open(&run.path)
-                .and_then(|f| {
-                    let mut reader = BufReader::new(f);
-                    reader.read_to_end(&mut raw)
-                })
+        let mut sources = Vec::with_capacity(runs.len());
+        for run in runs {
+            let reader = File::open(&run.path)
+                .map(BufReader::new)
                 .map_err(|e| MrError::Spill(e.to_string()))?;
-            let mut bytes = Bytes::from(raw);
-            let mut records = Vec::with_capacity(run.records);
-            for _ in 0..run.records {
-                records.push(T::decode(&mut bytes)?);
-            }
-            sources.push(records.into_iter());
+            sources.push(RunReader {
+                reader,
+                path: run.path,
+                remaining: run.records,
+            });
         }
-        sources.push(tail.into_iter());
-
-        struct HeapItem<T>(T, usize);
-        impl<T: Ord> PartialEq for HeapItem<T> {
-            fn eq(&self, other: &Self) -> bool {
-                self.0 == other.0
-            }
-        }
-        impl<T: Ord> Eq for HeapItem<T> {}
-        impl<T: Ord> PartialOrd for HeapItem<T> {
-            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl<T: Ord> Ord for HeapItem<T> {
-            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-                self.0.cmp(&other.0).then(self.1.cmp(&other.1))
-            }
-        }
-
-        let mut heap: BinaryHeap<Reverse<HeapItem<T>>> = BinaryHeap::new();
-        for (i, source) in sources.iter_mut().enumerate() {
-            if let Some(first) = source.next() {
-                heap.push(Reverse(HeapItem(first, i)));
-            }
-        }
-        let total: usize = self.runs.iter().map(|r| r.records).sum();
-        let mut out = Vec::with_capacity(total);
-        while let Some(Reverse(HeapItem(value, source))) = heap.pop() {
-            out.push(value);
-            if let Some(next) = sources[source].next() {
-                heap.push(Reverse(HeapItem(next, source)));
-            }
-        }
-
-        for run in &self.runs {
-            let _ = std::fs::remove_file(&run.path);
-        }
-        self.runs.clear();
-        Ok(out)
+        let mut stream = SortedStream {
+            sources,
+            tail: tail.into_iter(),
+            heap: BinaryHeap::new(),
+            failed: false,
+        };
+        stream.prime()?;
+        Ok(stream)
     }
 }
 
@@ -175,6 +188,117 @@ impl<T> Drop for ExternalSorter<T> {
         for run in &self.runs {
             let _ = std::fs::remove_file(&run.path);
         }
+    }
+}
+
+/// One spilled run being read back frame by frame.
+struct RunReader {
+    reader: BufReader<File>,
+    path: PathBuf,
+    remaining: usize,
+}
+
+impl RunReader {
+    fn next_record<T: SpillCodec>(&mut self) -> Result<Option<T>, MrError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let mut len = [0u8; 4];
+        self.reader
+            .read_exact(&mut len)
+            .map_err(|e| MrError::Spill(format!("run frame header: {e}")))?;
+        let len = u32::from_le_bytes(len) as usize;
+        let mut payload = vec![0u8; len];
+        self.reader
+            .read_exact(&mut payload)
+            .map_err(|e| MrError::Spill(format!("run frame payload: {e}")))?;
+        let mut bytes = Bytes::from(payload);
+        Ok(Some(T::decode(&mut bytes)?))
+    }
+}
+
+impl Drop for RunReader {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Heap entry: `(record, source index)`. Ties on equal records break on
+/// source index, with runs numbered in spill order and the in-memory tail
+/// last — the same tie order a fully in-memory sort of the push sequence
+/// would produce for records that compare equal... provided equal records
+/// are not *distinguishable*, which `Ord`-equality guarantees for the
+/// total orders this workspace sorts by.
+struct HeapItem<T>(T, usize);
+
+impl<T: Ord> PartialEq for HeapItem<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl<T: Ord> Eq for HeapItem<T> {}
+impl<T: Ord> PartialOrd for HeapItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T: Ord> Ord for HeapItem<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Streaming k-way merge over spilled runs plus the in-memory tail —
+/// yields records in ascending order. Dropping the stream removes any
+/// remaining run files.
+pub struct SortedStream<T> {
+    sources: Vec<RunReader>,
+    tail: std::vec::IntoIter<T>,
+    heap: BinaryHeap<Reverse<HeapItem<T>>>,
+    /// A decode error poisons the stream: iteration ends after yielding it.
+    failed: bool,
+}
+
+impl<T: SpillCodec + Ord> SortedStream<T> {
+    fn prime(&mut self) -> Result<(), MrError> {
+        for i in 0..self.sources.len() {
+            if let Some(first) = self.sources[i].next_record()? {
+                self.heap.push(Reverse(HeapItem(first, i)));
+            }
+        }
+        let tail_idx = self.sources.len();
+        if let Some(first) = self.tail.next() {
+            self.heap.push(Reverse(HeapItem(first, tail_idx)));
+        }
+        Ok(())
+    }
+}
+
+impl<T: SpillCodec + Ord> Iterator for SortedStream<T> {
+    type Item = Result<T, MrError>;
+
+    fn next(&mut self) -> Option<Result<T, MrError>> {
+        if self.failed {
+            return None;
+        }
+        let Reverse(HeapItem(value, source)) = self.heap.pop()?;
+        let refill = if source < self.sources.len() {
+            self.sources[source].next_record()
+        } else {
+            Ok(self.tail.next())
+        };
+        match refill {
+            Ok(Some(next)) => self.heap.push(Reverse(HeapItem(next, source))),
+            Ok(None) => {}
+            Err(e) => {
+                // A refill failure poisons the whole merge; callers abort,
+                // so the popped-but-unyielded record doesn't matter.
+                self.failed = true;
+                return Some(Err(e));
+            }
+        }
+        Some(Ok(value))
     }
 }
 
@@ -190,6 +314,7 @@ mod tests {
             sorter.push(v).unwrap();
         }
         assert_eq!(sorter.spilled_runs(), 0);
+        assert_eq!(sorter.spilled_bytes(), 0);
         assert_eq!(sorter.finish().unwrap(), vec![1, 3, 5, 9]);
     }
 
@@ -205,6 +330,7 @@ mod tests {
             "{} runs",
             sorter.spilled_runs()
         );
+        assert!(sorter.spilled_bytes() > 0);
         let sorted = sorter.finish().unwrap();
         expected.sort_unstable();
         assert_eq!(sorted, expected);
@@ -223,6 +349,38 @@ mod tests {
     fn empty_input() {
         let sorter: ExternalSorter<u64> = ExternalSorter::new(4);
         assert!(sorter.finish().unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_merge_removes_run_files() {
+        let dir = std::env::temp_dir().join(format!("pper-extsort-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sorter: ExternalSorter<u64> = ExternalSorter::new(5).with_dir(&dir);
+        for v in (0..43u64).rev() {
+            sorter.push(v).unwrap();
+        }
+        assert!(sorter.spilled_runs() >= 8);
+        let files_before = std::fs::read_dir(&dir).unwrap().count();
+        assert!(files_before >= 8);
+        let stream = sorter.into_stream().unwrap();
+        let sorted: Vec<u64> = stream.map(|r| r.unwrap()).collect();
+        assert_eq!(sorted, (0..43u64).collect::<Vec<_>>());
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_sorter_cleans_up_runs() {
+        let dir = std::env::temp_dir().join(format!("pper-extsort-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut sorter: ExternalSorter<u64> = ExternalSorter::new(2).with_dir(&dir);
+        for v in 0..10u64 {
+            sorter.push(v).unwrap();
+        }
+        assert!(sorter.spilled_runs() > 0);
+        drop(sorter);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -245,6 +403,22 @@ mod tests {
             let mut expected = values.clone();
             expected.sort_unstable();
             prop_assert_eq!(sorted, expected);
+        }
+
+        #[test]
+        fn prop_stream_matches_finish(
+            values in proptest::collection::vec(("[a-c]{0,4}", 0u32..50), 0..200),
+            capacity in 1usize..20,
+        ) {
+            let mut a: ExternalSorter<(String, u32)> = ExternalSorter::new(capacity);
+            let mut b: ExternalSorter<(String, u32)> = ExternalSorter::new(capacity);
+            for v in &values {
+                a.push(v.clone()).unwrap();
+                b.push(v.clone()).unwrap();
+            }
+            let streamed: Vec<(String, u32)> =
+                a.into_stream().unwrap().map(|r| r.unwrap()).collect();
+            prop_assert_eq!(streamed, b.finish().unwrap());
         }
     }
 }

@@ -121,7 +121,7 @@ pub mod prelude {
     pub use crate::counters::Counters;
     pub use crate::driver::{Driver, StageReport};
     pub use crate::error::MrError;
-    pub use crate::extsort::ExternalSorter;
+    pub use crate::extsort::{ExternalSorter, SortedStream};
     pub use crate::faults::{AttemptFault, FaultPlan, InjectedAbort, SpeculationConfig};
     pub use crate::job::{
         ClusterSpec, Combiner, Emitter, GroupReducer, JobConfig, Mapper, PartitionReducer, Reducer,
@@ -138,10 +138,14 @@ pub mod prelude {
     };
     pub use crate::progress::{EventLog, IncrementalWriter, ProgressEvent, Segment};
     pub use crate::runtime::{
-        run_job, run_job_with_combiner, run_job_with_partitioner, JobResult, PhaseReport,
-        WallPhases,
+        run_job, run_job_spilling, run_job_with_combiner, run_job_with_partitioner, JobResult,
+        PhaseReport, WallPhases,
     };
-    pub use crate::shuffle::{shuffle_partitions, GroupedPartition};
+    pub use crate::shuffle::{
+        shuffle_partitions, shuffle_partitions_spilling, GroupedPartition, ShuffleSpillConfig,
+        ShuffleSpillStats,
+    };
+    pub use crate::spill::SpillCodec;
 }
 
 pub use prelude::*;

@@ -41,7 +41,10 @@ use crate::loadbalance::lpt_assign;
 use crate::observe::{AttemptRecord, TaskEvent};
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::progress::ProgressEvent;
-use crate::shuffle::{shuffle_partitions, GroupedPartition, PartitionBuckets};
+use crate::shuffle::{
+    shuffle_partitions, shuffle_partitions_spilling, GroupedPartition, PartitionBuckets,
+    ShuffleSpillConfig, ShuffleSpillStats,
+};
 
 /// Virtual-time summary of one phase (map or reduce).
 #[derive(Debug, Clone)]
@@ -526,6 +529,35 @@ where
     run_job_with_partitioner(cfg, mapper, reducer, &HashPartitioner, inputs)
 }
 
+/// Run a job whose shuffle grouping spills to disk when a reduce
+/// partition exceeds the configured record budget (default hash
+/// partitioner). Outputs are bit-identical to [`run_job`] at any thread
+/// count — only the shuffle's memory working set (and the
+/// `shuffle_spill_*` counters) change.
+pub fn run_job_spilling<M, R>(
+    cfg: &JobConfig,
+    mapper: &M,
+    reducer: &R,
+    spill: &ShuffleSpillConfig,
+    inputs: &[M::Input],
+) -> Result<JobResult<R::Output>, MrError>
+where
+    M: Mapper,
+    M::Key: crate::spill::SpillCodec,
+    M::Value: crate::spill::SpillCodec,
+    R: PartitionReducer<Key = M::Key, Value = M::Value>,
+{
+    execute(
+        cfg,
+        mapper,
+        reducer,
+        &HashPartitioner,
+        None::<&IdentityCombiner<M::Key, M::Value>>,
+        inputs,
+        |per, threads| shuffle_partitions_spilling(per, threads, spill),
+    )
+}
+
 /// Run a job with a map-side [`Combiner`] and the default hash partitioner.
 pub fn run_job_with_combiner<M, R, C>(
     cfg: &JobConfig,
@@ -546,6 +578,7 @@ where
         &HashPartitioner,
         Some(combiner),
         inputs,
+        in_memory_shuffle,
     )
 }
 
@@ -571,23 +604,49 @@ where
         partitioner,
         None::<&IdentityCombiner<M::Key, M::Value>>,
         inputs,
+        in_memory_shuffle,
     )
 }
 
-/// Shared executor behind the public entry points.
-fn execute<M, R, P, C>(
+/// The default grouping strategy for [`execute`]: the fully in-memory
+/// parallel tag sort, never spilling.
+fn in_memory_shuffle<K, V>(
+    per_partition: Vec<PartitionBuckets<K, V>>,
+    threads: usize,
+) -> Result<(Vec<GroupedPartition<K, V>>, ShuffleSpillStats), MrError>
+where
+    K: Ord + std::hash::Hash + Eq + Send,
+    V: Send,
+{
+    Ok((
+        shuffle_partitions(per_partition, threads),
+        ShuffleSpillStats::default(),
+    ))
+}
+
+/// Shared executor behind the public entry points. `group_fn` turns the
+/// routed per-partition buckets into grouped partitions — the in-memory
+/// tag sort by default, the spilling external sort for
+/// [`run_job_spilling`]. Keeping it a closure parameter keeps
+/// [`crate::spill::SpillCodec`] bounds off the non-spilling entry points.
+fn execute<M, R, P, C, G>(
     cfg: &JobConfig,
     mapper: &M,
     reducer: &R,
     partitioner: &P,
     combiner: Option<&C>,
     inputs: &[M::Input],
+    group_fn: G,
 ) -> Result<JobResult<R::Output>, MrError>
 where
     M: Mapper,
     R: PartitionReducer<Key = M::Key, Value = M::Value>,
     P: Partitioner<M::Key>,
     C: Combiner<Key = M::Key, Value = M::Value>,
+    G: FnOnce(
+        Vec<PartitionBuckets<M::Key, M::Value>>,
+        usize,
+    ) -> Result<(Vec<GroupedPartition<M::Key, M::Value>>, ShuffleSpillStats), MrError>,
 {
     if cfg.cluster.machines == 0
         || cfg.cluster.map_slots_per_machine == 0
@@ -808,8 +867,15 @@ where
             }
             per
         };
-    let grouped: Vec<GroupedPartition<M::Key, M::Value>> =
-        shuffle_partitions(per_partition, threads);
+    let (grouped, spill_stats) = group_fn(per_partition, threads)?;
+    if spill_stats.spilled_partitions > 0 {
+        counters.add(
+            "shuffle_spilled_partitions",
+            spill_stats.spilled_partitions as u64,
+        );
+        counters.add("shuffle_spill_runs", spill_stats.spill_runs as u64);
+        counters.add("shuffle_spill_bytes", spill_stats.spill_bytes);
+    }
     let wall_shuffle = started.elapsed().saturating_sub(wall_map);
 
     // ---- Reduce phase ----------------------------------------------------
@@ -910,6 +976,29 @@ mod tests {
 
     fn job(machines: usize) -> JobConfig {
         JobConfig::new("test", ClusterSpec::paper(machines))
+    }
+
+    #[test]
+    fn spilling_job_matches_in_memory_job() {
+        let inputs: Vec<u64> = (0..500).map(|i| (i * 17) % 400).collect();
+        let reducer = GroupReducer::new(CountValues);
+        let baseline = run_job(&job(2), &KeyMod, &reducer, &inputs).unwrap();
+        // Budget far below any partition: everything spills in tiny runs.
+        let spill = ShuffleSpillConfig {
+            max_partition_records: 3,
+            run_capacity: 4,
+            dir: None,
+        };
+        let spilled = run_job_spilling(&job(2), &KeyMod, &reducer, &spill, &inputs).unwrap();
+        assert_eq!(spilled.outputs, baseline.outputs);
+        assert_eq!(spilled.outputs_per_task, baseline.outputs_per_task);
+        assert_eq!(
+            spilled.total_virtual_cost.to_bits(),
+            baseline.total_virtual_cost.to_bits()
+        );
+        assert!(spilled.counters.get("shuffle_spilled_partitions") > 0);
+        assert!(spilled.counters.get("shuffle_spill_bytes") > 0);
+        assert_eq!(baseline.counters.get("shuffle_spilled_partitions"), 0);
     }
 
     #[test]

@@ -37,11 +37,16 @@
 //! partition), so virtual-time accounting is unchanged.
 
 use std::hash::Hash;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
 
+use crate::error::MrError;
+use crate::extsort::ExternalSorter;
 use crate::fxhash::FxHashMap;
+use crate::spill::SpillCodec;
 
 /// One reduce partition's map-side buckets, in map-task order — the shape
 /// the map phase hands to [`shuffle_partitions`] / [`GroupedPartition::from_buckets`].
@@ -268,6 +273,237 @@ where
         .collect()
 }
 
+/// Memory-budget policy for shuffle grouping — when a partition's record
+/// count exceeds `max_partition_records`, its grouping runs through an
+/// [`ExternalSorter`] (bounded memory, disk-backed runs) instead of the
+/// in-memory tag sort. The result is bit-identical either way; only the
+/// working set changes.
+#[derive(Debug, Clone)]
+pub struct ShuffleSpillConfig {
+    /// Partitions with more records than this spill to disk.
+    pub max_partition_records: usize,
+    /// Records per sorted run while spilling (the sorter's in-memory
+    /// buffer bound).
+    pub run_capacity: usize,
+    /// Directory for run files; `None` = the system temp directory.
+    pub dir: Option<PathBuf>,
+}
+
+impl ShuffleSpillConfig {
+    /// Spill partitions above `max_partition_records`, buffering runs of a
+    /// quarter of that bound (so a spilling partition's sort working set
+    /// stays well under the threshold that triggered it).
+    pub fn new(max_partition_records: usize) -> Self {
+        Self {
+            max_partition_records,
+            run_capacity: (max_partition_records / 4).max(1),
+            dir: None,
+        }
+    }
+
+    /// Override the spill directory.
+    pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.dir = Some(dir.into());
+        self
+    }
+}
+
+/// What the spilling shuffle did — surfaced as job counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleSpillStats {
+    /// Partitions whose grouping went through the external sorter.
+    pub spilled_partitions: usize,
+    /// Sorted runs written across all spilled partitions.
+    pub spill_runs: usize,
+    /// Bytes written to run files across all spilled partitions.
+    pub spill_bytes: u64,
+}
+
+impl ShuffleSpillStats {
+    fn absorb(&mut self, other: ShuffleSpillStats) {
+        self.spilled_partitions += other.spilled_partitions;
+        self.spill_runs += other.spill_runs;
+        self.spill_bytes += other.spill_bytes;
+    }
+}
+
+/// One record of a spilling partition: the key it groups under, its global
+/// arrival index (bucket-drain order), and the value. Ordering by
+/// `(key, arrival)` is exactly the in-memory tag sort's `(rank, arrival)`
+/// order, since rank is the key's position in ascending key order.
+struct Tagged<K, V> {
+    key: K,
+    arrival: u32,
+    value: V,
+}
+
+impl<K: Ord, V> PartialEq for Tagged<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.arrival == other.arrival
+    }
+}
+impl<K: Ord, V> Eq for Tagged<K, V> {}
+impl<K: Ord, V> PartialOrd for Tagged<K, V> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<K: Ord, V> Ord for Tagged<K, V> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then(self.arrival.cmp(&other.arrival))
+    }
+}
+
+impl<K: SpillCodec, V: SpillCodec> SpillCodec for Tagged<K, V> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.key.encode(buf);
+        self.arrival.encode(buf);
+        self.value.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, MrError> {
+        Ok(Self {
+            key: K::decode(buf)?,
+            arrival: u32::decode(buf)?,
+            value: V::decode(buf)?,
+        })
+    }
+}
+
+impl<K: Ord + Hash + Eq, V> GroupedPartition<K, V> {
+    /// Group one partition under a memory budget: partitions within
+    /// `cfg.max_partition_records` use [`GroupedPartition::from_buckets`]
+    /// unchanged; larger ones externally sort `(key, arrival, value)` tags
+    /// and assemble the arena from the merged stream. Both paths produce
+    /// identical partitions — the external order `(key, arrival)` is the
+    /// tag sort's `(rank, arrival)` order.
+    pub fn from_buckets_spilling(
+        buckets: Vec<Vec<(K, V)>>,
+        cfg: &ShuffleSpillConfig,
+    ) -> Result<(Self, ShuffleSpillStats), MrError>
+    where
+        K: SpillCodec,
+        V: SpillCodec,
+    {
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        if total <= cfg.max_partition_records {
+            return Ok((Self::from_buckets(buckets), ShuffleSpillStats::default()));
+        }
+        assert!(
+            total <= u32::MAX as usize,
+            "partition exceeds u32 record capacity"
+        );
+
+        let mut sorter: ExternalSorter<Tagged<K, V>> = ExternalSorter::new(cfg.run_capacity);
+        if let Some(dir) = &cfg.dir {
+            sorter = sorter.with_dir(dir.clone());
+        }
+        let mut arrival = 0u32;
+        for bucket in buckets {
+            for (k, v) in bucket {
+                sorter.push(Tagged {
+                    key: k,
+                    arrival,
+                    value: v,
+                })?;
+                arrival += 1;
+            }
+        }
+        let stats = ShuffleSpillStats {
+            spilled_partitions: 1,
+            spill_runs: sorter.spilled_runs(),
+            spill_bytes: sorter.spilled_bytes(),
+        };
+
+        // Boundary-scan assembly straight off the merged stream: each
+        // group keeps its first record's key (duplicates compare equal,
+        // exactly like the in-memory path's first-occurrence key).
+        let mut keys: Vec<K> = Vec::new();
+        let mut starts: Vec<usize> = Vec::new();
+        let mut values: Vec<V> = Vec::with_capacity(total);
+        for item in sorter.into_stream()? {
+            let tagged = item?;
+            if keys.last() != Some(&tagged.key) {
+                starts.push(values.len());
+                keys.push(tagged.key);
+            }
+            values.push(tagged.value);
+        }
+        starts.push(values.len());
+        Ok((
+            Self {
+                keys,
+                starts,
+                values,
+            },
+            stats,
+        ))
+    }
+}
+
+/// [`shuffle_partitions`] under a memory budget: per-partition grouping
+/// routes through [`GroupedPartition::from_buckets_spilling`], fanned out
+/// on the worker pool with the same atomic-cursor pattern. Bit-identical
+/// partitions to the in-memory shuffle at any thread count.
+pub fn shuffle_partitions_spilling<K, V>(
+    per_partition: Vec<PartitionBuckets<K, V>>,
+    threads: usize,
+    cfg: &ShuffleSpillConfig,
+) -> Result<(Vec<GroupedPartition<K, V>>, ShuffleSpillStats), MrError>
+where
+    K: Ord + Hash + Eq + Send + SpillCodec,
+    V: Send + SpillCodec,
+{
+    let count = per_partition.len();
+    let threads = threads.max(1).min(count.max(1));
+    let mut stats = ShuffleSpillStats::default();
+    if threads == 1 {
+        let mut out = Vec::with_capacity(count);
+        for buckets in per_partition {
+            let (grouped, s) = GroupedPartition::from_buckets_spilling(buckets, cfg)?;
+            stats.absorb(s);
+            out.push(grouped);
+        }
+        return Ok((out, stats));
+    }
+    let work: Vec<Mutex<Option<PartitionBuckets<K, V>>>> = per_partition
+        .into_iter()
+        .map(|p| Mutex::new(Some(p)))
+        .collect();
+    type SpillSlot<K, V> = Option<Result<(GroupedPartition<K, V>, ShuffleSpillStats), MrError>>;
+    let done: Vec<Mutex<SpillSlot<K, V>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // lint:allow(relaxed) pure ticket dispenser, as in
+                // `shuffle_partitions`: RMW atomicity alone hands each index
+                // to exactly one worker; results are published via mutexes.
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    return;
+                }
+                if let Some(buckets) = work[idx].lock().take() {
+                    *done[idx].lock() = Some(GroupedPartition::from_buckets_spilling(buckets, cfg));
+                }
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(count);
+    for slot in done {
+        match slot.into_inner() {
+            Some(Ok((grouped, s))) => {
+                stats.absorb(s);
+                out.push(grouped);
+            }
+            Some(Err(e)) => return Err(e),
+            None => out.push(GroupedPartition::default()),
+        }
+    }
+    Ok((out, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +575,74 @@ mod tests {
         let serial = shuffle_partitions(mk(), 1);
         let parallel = shuffle_partitions(mk(), 8);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn spilling_below_threshold_never_spills() {
+        let buckets = vec![vec![(1u32, 10u32), (2, 20)], vec![(1, 11)]];
+        let cfg = ShuffleSpillConfig::new(100);
+        let (p, stats) = GroupedPartition::from_buckets_spilling(buckets.clone(), &cfg).unwrap();
+        assert_eq!(stats, ShuffleSpillStats::default());
+        assert_eq!(p, GroupedPartition::from_buckets(buckets));
+    }
+
+    #[test]
+    fn spilling_shuffle_identical_across_thread_counts() {
+        let mk = || {
+            (0..12)
+                .map(|p| {
+                    (0..3)
+                        .map(|m| {
+                            (0..300)
+                                .map(|i| (((i * 31 + p * 7 + m) % 23) as u64, (i + m) as u64))
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect::<Vec<Vec<Vec<(u64, u64)>>>>()
+        };
+        // Budget far below the 900-record partitions: every partition spills.
+        let cfg = ShuffleSpillConfig {
+            max_partition_records: 50,
+            run_capacity: 7,
+            dir: None,
+        };
+        let reference = shuffle_partitions(mk(), 1);
+        for threads in [1usize, 2, 8] {
+            let (spilled, stats) = shuffle_partitions_spilling(mk(), threads, &cfg).unwrap();
+            assert_eq!(spilled, reference, "threads={threads}");
+            assert_eq!(stats.spilled_partitions, 12, "threads={threads}");
+            assert!(stats.spill_runs >= 12, "threads={threads}");
+            assert!(stats.spill_bytes > 0, "threads={threads}");
+        }
+    }
+
+    proptest! {
+        // A tiny-budget spilling shuffle (runs of 2–8 records) produces a
+        // partition byte-identical to the in-memory tag sort, for string
+        // block keys like the ER pipeline's.
+        #[test]
+        fn prop_spilled_equals_in_memory(
+            buckets in proptest::collection::vec(
+                proptest::collection::vec((("[a-c]{0,3}", 0u8..4), 0u32..1000), 0..80),
+                0..5,
+            ),
+            run_capacity in 2usize..9,
+        ) {
+            let buckets: Vec<Vec<((String, u8), u32)>> = buckets
+                .into_iter()
+                .map(|b| b.into_iter().collect())
+                .collect();
+            let cfg = ShuffleSpillConfig {
+                max_partition_records: 0, // force the spill path always
+                run_capacity,
+                dir: None,
+            };
+            let (spilled, _) =
+                GroupedPartition::from_buckets_spilling(buckets.clone(), &cfg).unwrap();
+            let in_memory = GroupedPartition::from_buckets(buckets);
+            prop_assert_eq!(spilled, in_memory);
+        }
     }
 
     proptest! {

@@ -59,6 +59,18 @@ impl SpillCodec for u64 {
     }
 }
 
+impl SpillCodec for u8 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(*self);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, MrError> {
+        if !buf.has_remaining() {
+            return Err(MrError::Spill("truncated u8".into()));
+        }
+        Ok(buf.get_u8())
+    }
+}
+
 impl SpillCodec for u32 {
     fn encode(&self, buf: &mut BytesMut) {
         put_varint(buf, u64::from(*self));
@@ -178,6 +190,13 @@ mod tests {
     #[test]
     fn round_trip_u64() {
         round_trip(vec![0u64, 1, 127, 128, 300, u64::MAX]);
+    }
+
+    #[test]
+    fn round_trip_u8_and_block_keys() {
+        round_trip(vec![0u8, 1, 127, 128, 255]);
+        // The ER pipeline's blocking key shape.
+        round_trip(vec![(3u8, "pre".to_string()), (0u8, String::new())]);
     }
 
     #[test]

@@ -1,0 +1,496 @@
+//! Block-batched scoring: one probe entity against a block of candidates.
+//!
+//! Blocking hands the resolver a *block* of entities; PSNM-style windows
+//! then compare one probe against the `w` entities before it. The scalar
+//! prepared path ([`PreparedRule::score`]) is already allocation-free, but
+//! it still redoes per-probe work for every candidate:
+//!
+//! * **Batched Myers** — a Levenshtein term rebuilds the probe's Myers
+//!   character-class table for each pair. [`BlockScorer`] fills the table
+//!   once per probe per block and runs only the O(|candidate|) bit-parallel
+//!   scan per pair ([`crate::myers`]'s fill/scan/clear split).
+//! * **Bitset Jaccard** — a token-Jaccard term re-merges sorted id lists
+//!   per pair. [`BlockScorer`] maps the block's distinct interned token ids
+//!   onto a dense bit universe and compares fixed-width `u64` signatures
+//!   with `AND` + popcount.
+//!
+//! # Parity contract
+//!
+//! [`BlockScorer::score_block`] is **bit-identical** to calling
+//! [`PreparedRule::score`] on each `(probe, candidate)` pair — and hence to
+//! the string path [`MatchRule::score`](crate::MatchRule::score):
+//!
+//! * Per candidate, terms accumulate in declaration order with the exact
+//!   scalar operation sequence (`used_weight += w; score += w * sim`,
+//!   final `score / used_weight`). The loops here are term-major for
+//!   cache-friendliness, but each candidate's accumulator sees the same
+//!   additions in the same order as the scalar pair loop.
+//! * Batched Myers produces the same integer distance as the scalar path:
+//!   it engages exactly when the scalar kernel would pick the probe as the
+//!   Myers pattern (both ASCII, probe length in `1..=64`, candidate at
+//!   least as long), and otherwise falls back to the scalar kernel itself.
+//! * Bitset Jaccard produces the same integer intersection/union counts as
+//!   the sorted-merge kernel — both count distinct shared ids — feeding
+//!   the identical `inter as f64 / union as f64` division.
+//!
+//! [`BlockScorer::matches_block`] compares the (bit-identical) scores
+//! against the rule threshold, which is the decision
+//! [`MatchRule::matches`](crate::MatchRule::matches) and
+//! [`PreparedRule::matches`] return.
+
+use crate::myers::{myers_clear_peq, myers_fill_peq, myers_scan_prebuilt};
+use crate::prepared::{term_score, PreparedAttr, PreparedEntity, PreparedRule, SimScratch};
+use crate::rule::AttributeSim;
+
+/// Reusable state for probe-vs-block scoring. Create one per task/worker;
+/// buffers grow to a high-water mark and are reused, so a warm scorer
+/// allocates nothing per block.
+#[derive(Debug, Default)]
+pub struct BlockScorer {
+    /// Scalar-kernel scratch for fallback terms (Jaro, q-gram, DP
+    /// Levenshtein, ...).
+    scratch: SimScratch,
+    /// The probe's prebuilt Myers table. Deliberately separate from
+    /// `scratch.kernels`' table: a scalar fallback inside a batched
+    /// Levenshtein term (candidate shorter than the probe) runs its own
+    /// fill/clear cycle, which would corrupt a shared table.
+    probe_peq: Option<Box<[u64; 128]>>,
+    /// Per-candidate `used_weight` accumulators.
+    acc_w: Vec<f64>,
+    /// Per-candidate weighted-score accumulators.
+    acc_s: Vec<f64>,
+    /// Sorted distinct token ids of the current Jaccard term's block.
+    universe: Vec<u32>,
+    /// Probe bitset signature over `universe`.
+    probe_sig: Vec<u64>,
+    /// Candidate bitset signature (rebuilt per candidate).
+    cand_sig: Vec<u64>,
+    /// Score buffer backing `matches_block`.
+    scores: Vec<f64>,
+}
+
+impl BlockScorer {
+    /// Fresh scorer (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Score `probe` against every candidate, writing one score per
+    /// candidate into `out` (cleared first). `out[j]` is bit-identical to
+    /// `rule.score(probe, &cands[j], scratch)`.
+    pub fn score_block(
+        &mut self,
+        rule: &PreparedRule,
+        probe: &PreparedEntity,
+        cands: &[PreparedEntity],
+        out: &mut Vec<f64>,
+    ) {
+        let n = cands.len();
+        self.acc_w.clear();
+        self.acc_w.resize(n, 0.0);
+        self.acc_s.clear();
+        self.acc_s.resize(n, 0.0);
+        let terms = &rule.rule().attrs;
+        debug_assert_eq!(probe.terms.len(), terms.len());
+
+        for (i, term) in terms.iter().enumerate() {
+            let pt = &probe.terms[i];
+            if matches!(pt, PreparedAttr::Missing) {
+                // The scalar path drops the term for every pair involving
+                // this probe; no accumulator moves.
+                continue;
+            }
+            match (&term.sim, pt) {
+                (
+                    AttributeSim::Levenshtein { .. },
+                    PreparedAttr::Chars {
+                        chars: pc,
+                        ascii: true,
+                    },
+                ) if (1..=64).contains(&pc.len()) => {
+                    self.batched_levenshtein(term.weight, &term.sim, pt, pc, cands, i);
+                }
+                (AttributeSim::JaccardTokens, PreparedAttr::Tokens(pids)) => {
+                    self.bitset_jaccard(term.weight, pids, cands, i);
+                }
+                _ => {
+                    for (j, cand) in cands.iter().enumerate() {
+                        let ct = &cand.terms[i];
+                        if matches!(ct, PreparedAttr::Missing) {
+                            continue;
+                        }
+                        let sim = term_score(&term.sim, pt, ct, &mut self.scratch.kernels);
+                        self.acc_w[j] += term.weight;
+                        self.acc_s[j] += term.weight * sim;
+                    }
+                }
+            }
+        }
+
+        out.clear();
+        out.extend(self.acc_w.iter().zip(&self.acc_s).map(
+            |(&w, &s)| {
+                if w == 0.0 {
+                    0.0
+                } else {
+                    s / w
+                }
+            },
+        ));
+    }
+
+    /// Match decisions for `probe` against every candidate: identical to
+    /// `rule.matches(probe, &cands[j], scratch)` (and to the string path),
+    /// via the bit-identical block scores compared to the threshold.
+    pub fn matches_block(
+        &mut self,
+        rule: &PreparedRule,
+        probe: &PreparedEntity,
+        cands: &[PreparedEntity],
+        out: &mut Vec<bool>,
+    ) {
+        let mut scores = std::mem::take(&mut self.scores);
+        self.score_block(rule, probe, cands, &mut scores);
+        out.clear();
+        out.extend(scores.iter().map(|&s| s >= rule.rule().threshold));
+        self.scores = scores;
+    }
+
+    /// One Levenshtein term: probe's Myers table built once, one scan per
+    /// eligible candidate. A candidate is eligible when the scalar kernel
+    /// would use the probe as the Myers pattern — ASCII on both sides and
+    /// `cand.len() >= probe.len()` (the scalar kernel patterns on the
+    /// shorter buffer, ties going to the `a` side, which is the probe
+    /// here). Everything else goes through the scalar kernel unchanged.
+    fn batched_levenshtein(
+        &mut self,
+        weight: f64,
+        sim_kind: &AttributeSim,
+        pt: &PreparedAttr,
+        pc: &[char],
+        cands: &[PreparedEntity],
+        i: usize,
+    ) {
+        let mut peq = self
+            .probe_peq
+            .take()
+            .unwrap_or_else(|| Box::new([0u64; 128]));
+        myers_fill_peq(pc, &mut peq);
+        for (j, cand) in cands.iter().enumerate() {
+            let ct = &cand.terms[i];
+            if matches!(ct, PreparedAttr::Missing) {
+                continue;
+            }
+            let sim = match ct {
+                PreparedAttr::Chars {
+                    chars: cc,
+                    ascii: true,
+                } if cc.len() >= pc.len() => {
+                    let d = myers_scan_prebuilt(pc.len(), cc, &peq);
+                    // max_len == cc.len() since cc is at least as long.
+                    1.0 - d as f64 / cc.len() as f64
+                }
+                _ => term_score(sim_kind, pt, ct, &mut self.scratch.kernels),
+            };
+            self.acc_w[j] += weight;
+            self.acc_s[j] += weight * sim;
+        }
+        myers_clear_peq(pc, &mut peq);
+        self.probe_peq = Some(peq);
+    }
+
+    /// One token-Jaccard term: the block's distinct ids become a dense bit
+    /// universe; intersection is `AND` + popcount over fixed-width `u64`
+    /// signatures. Counts are identical to the sorted-merge kernel, so the
+    /// resulting `f64` is bit-identical.
+    fn bitset_jaccard(&mut self, weight: f64, pids: &[u32], cands: &[PreparedEntity], i: usize) {
+        self.universe.clear();
+        self.universe.extend_from_slice(pids);
+        for cand in cands {
+            if let PreparedAttr::Tokens(ids) = &cand.terms[i] {
+                self.universe.extend_from_slice(ids);
+            }
+        }
+        self.universe.sort_unstable();
+        self.universe.dedup();
+        let words = self.universe.len().div_ceil(64);
+
+        self.probe_sig.clear();
+        self.probe_sig.resize(words, 0);
+        for &id in pids {
+            set_bit(&mut self.probe_sig, universe_pos(&self.universe, id));
+        }
+
+        for (j, cand) in cands.iter().enumerate() {
+            let ct = &cand.terms[i];
+            let PreparedAttr::Tokens(ids) = ct else {
+                debug_assert!(
+                    matches!(ct, PreparedAttr::Missing),
+                    "entity prepared for a different rule"
+                );
+                continue;
+            };
+            let sim = if pids.is_empty() && ids.is_empty() {
+                1.0
+            } else {
+                self.cand_sig.clear();
+                self.cand_sig.resize(words, 0);
+                for &id in ids {
+                    set_bit(&mut self.cand_sig, universe_pos(&self.universe, id));
+                }
+                let inter: usize = self
+                    .probe_sig
+                    .iter()
+                    .zip(&self.cand_sig)
+                    .map(|(a, b)| (a & b).count_ones() as usize)
+                    .sum();
+                // Prepared token lists are sorted+deduped, so list length
+                // equals signature popcount and the union count matches
+                // the sorted-merge kernel exactly.
+                let union = pids.len() + ids.len() - inter;
+                inter as f64 / union as f64
+            };
+            self.acc_w[j] += weight;
+            self.acc_s[j] += weight * sim;
+        }
+    }
+}
+
+fn set_bit(sig: &mut [u64], pos: usize) {
+    sig[pos / 64] |= 1u64 << (pos % 64);
+}
+
+/// Bit position of `id` in the sorted distinct `universe`. Every id was
+/// folded into the universe before signatures are built, so the search
+/// always hits.
+fn universe_pos(universe: &[u32], id: u32) -> usize {
+    match universe.binary_search(&id) {
+        Ok(p) => p,
+        Err(p) => {
+            debug_assert!(false, "token id {id} missing from block universe");
+            p.min(universe.len().saturating_sub(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{MatchRule, WeightedAttr};
+    use crate::TokenInterner;
+    use proptest::prelude::*;
+
+    /// Every kernel family in one rule, books-like weights.
+    fn mixed_rule() -> MatchRule {
+        MatchRule::new(
+            vec![
+                WeightedAttr::new(0, 0.30, AttributeSim::Levenshtein { max_chars: None }),
+                WeightedAttr::new(1, 0.20, AttributeSim::JaccardTokens),
+                WeightedAttr::new(2, 0.15, AttributeSim::JaroWinkler),
+                WeightedAttr::new(3, 0.15, AttributeSim::QGram { q: 2 }),
+                WeightedAttr::new(4, 0.10, AttributeSim::Exact),
+                WeightedAttr::new(
+                    5,
+                    0.10,
+                    AttributeSim::Levenshtein {
+                        max_chars: Some(16),
+                    },
+                ),
+            ],
+            0.75,
+        )
+    }
+
+    fn prepare_all(
+        pr: &PreparedRule,
+        interner: &mut TokenInterner,
+        rows: &[Vec<String>],
+    ) -> Vec<PreparedEntity> {
+        rows.iter().map(|r| pr.prepare(r, interner)).collect()
+    }
+
+    fn assert_block_parity(rule: &MatchRule, rows: &[Vec<String>], probe_idx: usize) {
+        let pr = PreparedRule::new(rule.clone());
+        let mut interner = TokenInterner::new();
+        let prepared = prepare_all(&pr, &mut interner, rows);
+        let mut scorer = BlockScorer::new();
+        let mut scratch = SimScratch::new();
+        let probe = &prepared[probe_idx];
+
+        let mut scores = Vec::new();
+        let mut decisions = Vec::new();
+        scorer.score_block(&pr, probe, &prepared, &mut scores);
+        scorer.matches_block(&pr, probe, &prepared, &mut decisions);
+        assert_eq!(scores.len(), rows.len());
+
+        for (j, cand) in prepared.iter().enumerate() {
+            let scalar = pr.score(probe, cand, &mut scratch);
+            assert_eq!(
+                scores[j].to_bits(),
+                scalar.to_bits(),
+                "score parity vs prepared scalar: probe {probe_idx} cand {j}"
+            );
+            let string_path = rule.score(&rows[probe_idx], &rows[j]);
+            assert_eq!(
+                scores[j].to_bits(),
+                string_path.to_bits(),
+                "score parity vs string path: probe {probe_idx} cand {j}"
+            );
+            assert_eq!(
+                decisions[j],
+                pr.matches(probe, cand, &mut scratch),
+                "decision parity vs prepared scalar: probe {probe_idx} cand {j}"
+            );
+            assert_eq!(
+                decisions[j],
+                rule.matches(&rows[probe_idx], &rows[j]),
+                "decision parity vs string path: probe {probe_idx} cand {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn handcrafted_edge_cases() {
+        let rows: Vec<Vec<String>> = [
+            // Near-duplicate of the probe.
+            [
+                "progressive entity resolution",
+                "alice smith bob jones",
+                "Jon",
+                "icde 2017",
+                "EN",
+                "hardcover",
+            ],
+            // Probe row.
+            [
+                "progresive entity resolution",
+                "bob jones alice smith",
+                "John",
+                "icde 2017",
+                "EN",
+                "hardcover",
+            ],
+            // Candidate shorter than the probe (scalar fallback inside the
+            // batched Levenshtein term).
+            ["pro", "alice", "J", "ic", "EN", "x"],
+            // Empty attributes (Missing on the candidate side).
+            ["", "", "", "", "", ""],
+            // Non-ASCII forces the DP fallback and tests batched-Myers
+            // eligibility gating.
+            [
+                "progrèssive entity resolution",
+                "alicé smith",
+                "Jöhn",
+                "icde 2017",
+                "EN",
+                "softcovér",
+            ],
+            // Longer-than-64-chars title (probe-side gate is on probe
+            // length, candidate stays eligible for scanning).
+            [
+                "a very long title that keeps going and going and going and going and going",
+                "tok tok tok",
+                "Jo",
+                "qq",
+                "DE",
+                "paperback",
+            ],
+            // Whitespace-only tokens attr (empty token set, not Missing).
+            ["probe-ish title", " ", "Jn", "ii", "EN", "h"],
+        ]
+        .iter()
+        .map(|r| r.iter().map(|s| s.to_string()).collect())
+        .collect();
+
+        let rule = mixed_rule();
+        for probe_idx in 0..rows.len() {
+            assert_block_parity(&rule, &rows, probe_idx);
+        }
+    }
+
+    #[test]
+    fn missing_probe_attr_skips_term_for_all_candidates() {
+        // Probe with every attr empty: all terms Missing → score 0.0.
+        let rows: Vec<Vec<String>> = vec![
+            vec![String::new(); 6],
+            ["t", "a b", "n", "g", "E", "f"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        ];
+        assert_block_parity(&mixed_rule(), &rows, 0);
+    }
+
+    #[test]
+    fn prepare_refs_matches_prepare() {
+        let pr = PreparedRule::new(mixed_rule());
+        let row = [
+            "progressive entity resolution",
+            "alice smith",
+            "John",
+            "icde",
+            "EN",
+            "hardcover",
+        ];
+        let owned: Vec<String> = row.iter().map(|s| s.to_string()).collect();
+        let refs: Vec<&str> = row.to_vec();
+        let mut i1 = TokenInterner::new();
+        let mut i2 = TokenInterner::new();
+        assert_eq!(pr.prepare(&owned, &mut i1), pr.prepare_refs(&refs, &mut i2));
+    }
+
+    #[test]
+    fn reusable_scorer_leaves_no_state_behind() {
+        // Score two different blocks through one scorer; results must match
+        // a fresh scorer's (catches peq/universe leakage between calls).
+        let rule = mixed_rule();
+        let pr = PreparedRule::new(rule.clone());
+        let mut interner = TokenInterner::new();
+        let block_a: Vec<Vec<String>> = (0..5)
+            .map(|k| (0..6).map(|a| format!("value {k} attr {a} xyz")).collect())
+            .collect();
+        let block_b: Vec<Vec<String>> = (0..5)
+            .map(|k| (0..6).map(|a| format!("other {a} {k}")).collect())
+            .collect();
+        let pa = prepare_all(&pr, &mut interner, &block_a);
+        let pb = prepare_all(&pr, &mut interner, &block_b);
+
+        let mut warm = BlockScorer::new();
+        let mut tmp = Vec::new();
+        warm.score_block(&pr, &pa[0], &pa, &mut tmp);
+        let mut warm_scores = Vec::new();
+        warm.score_block(&pr, &pb[0], &pb, &mut warm_scores);
+
+        let mut fresh = BlockScorer::new();
+        let mut fresh_scores = Vec::new();
+        fresh.score_block(&pr, &pb[0], &pb, &mut fresh_scores);
+        let bits = |v: &Vec<f64>| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&warm_scores), bits(&fresh_scores));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+        #[test]
+        fn prop_block_parity_random_rows(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(".{0,70}", 6..7), 1..9),
+            probe_sel in 0usize..64,
+        ) {
+            let rows: Vec<Vec<String>> = rows;
+            let probe_idx = probe_sel % rows.len();
+            assert_block_parity(&mixed_rule(), &rows, probe_idx);
+        }
+
+        #[test]
+        fn prop_block_parity_ascii_titles(
+            rows in proptest::collection::vec(
+                proptest::collection::vec("[a-e ]{0,80}", 6..7), 2..12),
+            probe_sel in 0usize..64,
+        ) {
+            let rows: Vec<Vec<String>> = rows;
+            let probe_idx = probe_sel % rows.len();
+            assert_block_parity(&mixed_rule(), &rows, probe_idx);
+        }
+    }
+}

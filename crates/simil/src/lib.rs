@@ -43,6 +43,7 @@
 //! assert!(rule.matches(&a, &b));
 //! ```
 
+pub mod batch;
 pub mod jaro;
 pub mod levenshtein;
 mod myers;
@@ -51,6 +52,7 @@ pub mod prepared;
 pub mod rule;
 pub mod tokens;
 
+pub use batch::BlockScorer;
 pub use jaro::{jaro, jaro_winkler};
 pub use levenshtein::{levenshtein, levenshtein_bounded, levenshtein_similarity};
 pub use phonetic::{soundex, soundex_similarity};

@@ -12,18 +12,34 @@
 //! O(|pattern|·|text|) cell updates — the prepared hot path's fast path for
 //! title/venue-sized attributes.
 
-/// Exact Levenshtein distance between `pattern` and `text`, both ASCII,
-/// with `1 <= pattern.len() <= 64`. `peq` is the reusable character-class
-/// table; it must be all-zero on entry and is restored to all-zero before
-/// returning.
-pub(crate) fn myers_distance_ascii(pattern: &[char], text: &[char], peq: &mut [u64; 128]) -> usize {
+/// Populate the character-class table for `pattern` (ASCII, length
+/// `1..=64`). `peq` must be all-zero on entry; undo with
+/// [`myers_clear_peq`] on the same pattern. Splitting fill/scan/clear lets
+/// the batch path build one probe's table once and scan a whole block of
+/// candidates against it.
+pub(crate) fn myers_fill_peq(pattern: &[char], peq: &mut [u64; 128]) {
     let m = pattern.len();
     debug_assert!((1..=64).contains(&m), "pattern length {m} out of range");
     for (i, &c) in pattern.iter().enumerate() {
         debug_assert!(c.is_ascii());
         peq[c as usize] |= 1u64 << i;
     }
+}
 
+/// Zero the table entries [`myers_fill_peq`] touched, restoring `peq` to
+/// all-zero by visiting only the pattern's own characters.
+pub(crate) fn myers_clear_peq(pattern: &[char], peq: &mut [u64; 128]) {
+    for &c in pattern {
+        peq[c as usize] = 0;
+    }
+}
+
+/// The Myers scan against a prebuilt table: exact Levenshtein distance
+/// between the pattern `peq` was filled from (of length `pattern_len`) and
+/// `text`. Does not modify the table, so one fill can serve many scans.
+pub(crate) fn myers_scan_prebuilt(pattern_len: usize, text: &[char], peq: &[u64; 128]) -> usize {
+    let m = pattern_len;
+    debug_assert!((1..=64).contains(&m), "pattern length {m} out of range");
     let mut pv = !0u64; // vertical positive deltas (column 0: D[i][0] = i)
     let mut mv = 0u64; // vertical negative deltas
     let mut score = m;
@@ -45,10 +61,17 @@ pub(crate) fn myers_distance_ascii(pattern: &[char], text: &[char], peq: &mut [u
         pv = mh | !(xv | ph);
         mv = ph & xv;
     }
+    score
+}
 
-    for &c in pattern {
-        peq[c as usize] = 0;
-    }
+/// Exact Levenshtein distance between `pattern` and `text`, both ASCII,
+/// with `1 <= pattern.len() <= 64`. `peq` is the reusable character-class
+/// table; it must be all-zero on entry and is restored to all-zero before
+/// returning.
+pub(crate) fn myers_distance_ascii(pattern: &[char], text: &[char], peq: &mut [u64; 128]) -> usize {
+    myers_fill_peq(pattern, peq);
+    let score = myers_scan_prebuilt(pattern.len(), text, peq);
+    myers_clear_peq(pattern, peq);
     score
 }
 

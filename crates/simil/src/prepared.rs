@@ -99,7 +99,7 @@ impl TokenInterner {
 
 /// One rule term's precomputed signature for one entity.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum PreparedAttr {
+pub(crate) enum PreparedAttr {
     /// Attribute index out of range or value empty — the term is dropped
     /// for any pair involving this entity (mirroring the string path's
     /// missing-value renormalization).
@@ -120,7 +120,7 @@ enum PreparedAttr {
 /// (`terms[i]` pairs with `rule.attrs[i]`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedEntity {
-    terms: Vec<PreparedAttr>,
+    pub(crate) terms: Vec<PreparedAttr>,
 }
 
 impl PreparedEntity {
@@ -134,7 +134,7 @@ impl PreparedEntity {
 /// two [`PreparedEntity`]s. Buffers grow to a high-water mark and are
 /// reused, so a warm scratch makes pair comparison allocation-free.
 #[derive(Debug)]
-struct KernelScratch {
+pub(crate) struct KernelScratch {
     /// Two-row DP buffer for the Levenshtein fallback.
     row: Vec<usize>,
     /// Myers character-class table (filled and re-cleared per call by
@@ -159,7 +159,7 @@ impl Default for KernelScratch {
 /// pass it to every pair comparison.
 #[derive(Debug, Default)]
 pub struct SimScratch {
-    kernels: KernelScratch,
+    pub(crate) kernels: KernelScratch,
     /// Per-term usability of the current pair (both sides present).
     usable: Vec<bool>,
     /// Per-term similarity cache for the early-exit fallback recompute.
@@ -206,12 +206,28 @@ impl PreparedRule {
     /// prepared path happens here (and in the interner), once per entity
     /// per task — never per pair.
     pub fn prepare(&self, attrs: &[String], interner: &mut TokenInterner) -> PreparedEntity {
+        self.prepare_impl(attrs, interner)
+    }
+
+    /// [`PreparedRule::prepare`] over borrowed attribute values — the
+    /// zero-copy entry point for rows served straight out of an on-disk
+    /// store (no intermediate `Vec<String>` row). Produces an identical
+    /// [`PreparedEntity`] to `prepare` on the same values.
+    pub fn prepare_refs(&self, attrs: &[&str], interner: &mut TokenInterner) -> PreparedEntity {
+        self.prepare_impl(attrs, interner)
+    }
+
+    fn prepare_impl<S: AsRef<str>>(
+        &self,
+        attrs: &[S],
+        interner: &mut TokenInterner,
+    ) -> PreparedEntity {
         let terms = self
             .rule
             .attrs
             .iter()
             .map(|term| {
-                let Some(v) = attrs.get(term.attr) else {
+                let Some(v) = attrs.get(term.attr).map(|s| s.as_ref()) else {
                     return PreparedAttr::Missing;
                 };
                 if v.is_empty() {
@@ -221,7 +237,7 @@ impl PreparedRule {
                     AttributeSim::Levenshtein { max_chars } => {
                         let capped = match max_chars {
                             Some(cap) => truncate(v, *cap),
-                            None => v.as_str(),
+                            None => v,
                         };
                         PreparedAttr::Chars {
                             chars: capped.chars().collect(),
@@ -249,7 +265,7 @@ impl PreparedRule {
                         ids.sort_unstable();
                         PreparedAttr::Grams(ids)
                     }
-                    AttributeSim::Exact => PreparedAttr::Raw(v.clone()),
+                    AttributeSim::Exact => PreparedAttr::Raw(v.to_string()),
                     AttributeSim::Soundex => {
                         let code = soundex(v);
                         let b = code.as_bytes();
@@ -375,7 +391,7 @@ fn sorted_intersection(a: &[u32], b: &[u32]) -> usize {
 
 /// One term's kernel over prepared signatures — each arm reproduces the
 /// corresponding string kernel's exact arithmetic.
-fn term_score(
+pub(crate) fn term_score(
     sim: &AttributeSim,
     a: &PreparedAttr,
     b: &PreparedAttr,

@@ -1,0 +1,596 @@
+//! # pper-store
+//!
+//! Out-of-core columnar entity store: a compact on-disk layout for entity
+//! attribute data, written by a streaming builder and read back zero-copy
+//! through an mmap (or heap) backing.
+//!
+//! The paper's headline experiments resolve ~30M OL-Books entities — far
+//! more than fit in memory as `Vec<Entity>` rows (`Vec<String>` per entity
+//! costs ~24 bytes of header per attribute before any character data). This
+//! crate stores the same information as three flat sections:
+//!
+//! ```text
+//! ┌────────────┬──────────────────┬──────────────────────┬───────────────┐
+//! │ header 64B │ attribute arena  │ offsets (n·a+1)×u64  │ labels n×u32  │
+//! │ magic, n,  │ utf-8 bytes of   │ offsets[e·a + j] ..  │ optional      │
+//! │ a, lens    │ every attribute, │ offsets[e·a + j + 1] │ ground-truth  │
+//! │            │ concatenated     │ = attr j of entity e │ cluster ids   │
+//! └────────────┴──────────────────┴──────────────────────┴───────────────┘
+//! ```
+//!
+//! * [`StoreBuilder`] streams entities in one at a time: attribute bytes go
+//!   straight into the final file's arena section, offsets and labels into
+//!   sidecar temp files that are stitched on [`StoreBuilder::finish`] — so
+//!   building a 30M-entity store needs O(1) memory.
+//! * [`EntityStore`] opens the file mmap-backed on Linux (falling back to a
+//!   heap read elsewhere, behind the same API) and serves `&str` attribute
+//!   views directly out of the mapping: no per-row `Vec<String>`
+//!   materialization, feeding `PreparedRule::prepare` zero-copy.
+//!
+//! The store is an *artifact* format, not an interchange format: it is
+//! always produced and consumed by the same build on the same machine, so
+//! integers are little-endian with no cross-version migration support
+//! beyond the magic/version check.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+mod mmap;
+
+pub use mmap::Mmap;
+
+/// File magic: "PPERCOL1".
+const MAGIC: [u8; 8] = *b"PPERCOL1";
+/// Format version.
+const VERSION: u32 = 1;
+/// Fixed header size in bytes.
+const HEADER_LEN: usize = 64;
+
+/// Errors from building or opening a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the file or a misuse of the API.
+    Format(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Format(msg) => write!(f, "store format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> StoreError {
+    StoreError::Format(msg.into())
+}
+
+/// Summary returned by [`StoreBuilder::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Number of entities written.
+    pub entities: u64,
+    /// Total attribute-arena bytes.
+    pub arena_bytes: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+/// Streaming store writer: entities go in one at a time and never
+/// accumulate in memory.
+///
+/// Attribute bytes are appended directly to the output file (after a
+/// placeholder header); the offset index and optional label column stream
+/// into `<path>.offsets.tmp` / `<path>.labels.tmp` sidecars that are
+/// concatenated onto the arena when [`finish`](Self::finish) stitches the
+/// final file. Dropping a builder without finishing removes the sidecars
+/// and leaves a file with a zeroed (hence invalid) header.
+pub struct StoreBuilder {
+    arena: BufWriter<File>,
+    offsets: BufWriter<File>,
+    labels: Option<BufWriter<File>>,
+    path: PathBuf,
+    offsets_path: PathBuf,
+    labels_path: PathBuf,
+    num_attrs: u32,
+    count: u64,
+    arena_len: u64,
+    finished: bool,
+}
+
+impl StoreBuilder {
+    /// Start a store at `path` for entities of `num_attrs` attributes.
+    /// `with_labels` reserves the optional u32 label column (ground-truth
+    /// cluster ids, used for recall accounting at scale).
+    pub fn create(
+        path: impl Into<PathBuf>,
+        num_attrs: usize,
+        with_labels: bool,
+    ) -> Result<Self, StoreError> {
+        let path = path.into();
+        if num_attrs == 0 || num_attrs > u32::MAX as usize {
+            return Err(format_err(format!("invalid attribute count {num_attrs}")));
+        }
+        let offsets_path = sidecar(&path, "offsets.tmp");
+        let labels_path = sidecar(&path, "labels.tmp");
+        let mut file = File::create(&path)?;
+        file.write_all(&[0u8; HEADER_LEN])?;
+        let mut offsets = BufWriter::new(File::create(&offsets_path)?);
+        // The offset index has n·a + 1 entries; the leading zero is the
+        // start of entity 0's first attribute.
+        offsets.write_all(&0u64.to_le_bytes())?;
+        let labels = if with_labels {
+            Some(BufWriter::new(File::create(&labels_path)?))
+        } else {
+            None
+        };
+        Ok(Self {
+            arena: BufWriter::with_capacity(1 << 20, file),
+            offsets,
+            labels,
+            path,
+            offsets_path,
+            labels_path,
+            num_attrs: num_attrs as u32,
+            count: 0,
+            arena_len: 0,
+            finished: false,
+        })
+    }
+
+    /// Number of entities pushed so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no entity has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Append one entity. `attrs` must match the declared attribute count
+    /// and `label` must be present iff the store was created with labels.
+    pub fn push<S: AsRef<str>>(
+        &mut self,
+        attrs: &[S],
+        label: Option<u32>,
+    ) -> Result<(), StoreError> {
+        if attrs.len() != self.num_attrs as usize {
+            return Err(format_err(format!(
+                "entity has {} attributes, store declares {}",
+                attrs.len(),
+                self.num_attrs
+            )));
+        }
+        match (&mut self.labels, label) {
+            (Some(w), Some(l)) => w.write_all(&l.to_le_bytes())?,
+            (None, None) => {}
+            (Some(_), None) => return Err(format_err("label column declared but no label given")),
+            (None, Some(_)) => return Err(format_err("label given but store has no label column")),
+        }
+        for attr in attrs {
+            let bytes = attr.as_ref().as_bytes();
+            self.arena.write_all(bytes)?;
+            self.arena_len += bytes.len() as u64;
+            self.offsets.write_all(&self.arena_len.to_le_bytes())?;
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Stitch the final file: arena (already in place), then offsets, then
+    /// labels, then the real header. Sidecar temp files are removed.
+    pub fn finish(mut self) -> Result<StoreSummary, StoreError> {
+        self.offsets.flush()?;
+        if let Some(labels) = &mut self.labels {
+            labels.flush()?;
+        }
+        self.arena.flush()?;
+        let mut file = self.arena.get_ref().try_clone()?;
+        file.seek(SeekFrom::End(0))?;
+        let mut copy_in = |path: &Path| -> Result<(), StoreError> {
+            let mut src = File::open(path)?;
+            std::io::copy(&mut src, &mut file)?;
+            Ok(())
+        };
+        copy_in(&self.offsets_path)?;
+        if self.labels.is_some() {
+            copy_in(&self.labels_path)?;
+        }
+
+        let mut header = [0u8; HEADER_LEN];
+        header[0..8].copy_from_slice(&MAGIC);
+        header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&self.num_attrs.to_le_bytes());
+        header[16..24].copy_from_slice(&self.count.to_le_bytes());
+        header[24..32].copy_from_slice(&self.arena_len.to_le_bytes());
+        header[32] = u8::from(self.labels.is_some());
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+        let file_bytes = file.metadata()?.len();
+
+        self.finished = true;
+        let _ = std::fs::remove_file(&self.offsets_path);
+        let _ = std::fs::remove_file(&self.labels_path);
+        Ok(StoreSummary {
+            entities: self.count,
+            arena_bytes: self.arena_len,
+            file_bytes,
+        })
+    }
+}
+
+impl Drop for StoreBuilder {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = std::fs::remove_file(&self.offsets_path);
+            let _ = std::fs::remove_file(&self.labels_path);
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+fn sidecar(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".");
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+/// The bytes behind an open store: an mmap on Linux, a heap buffer as the
+/// portable fallback. Both serve the identical zero-copy slice API (the
+/// heap path is "zero-copy" per *read* — the file is materialized once at
+/// open, never per row).
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Mmap(Mmap),
+    Heap(Vec<u8>),
+}
+
+impl Backend {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(target_os = "linux")]
+            Backend::Mmap(m) => m.as_slice(),
+            Backend::Heap(v) => v,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            #[cfg(target_os = "linux")]
+            Backend::Mmap(_) => "mmap",
+            Backend::Heap(_) => "heap",
+        }
+    }
+}
+
+/// A read-only open store. All accessors hand out views into the backing
+/// bytes; nothing is copied per entity.
+pub struct EntityStore {
+    data: Backend,
+    num_attrs: usize,
+    num_entities: u64,
+    /// Byte position of the offset index within the file.
+    offsets_pos: usize,
+    /// Byte position of the label column, if present.
+    labels_pos: Option<usize>,
+}
+
+impl EntityStore {
+    /// Open `path` with the best available backend: mmap on Linux, heap
+    /// elsewhere.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        #[cfg(target_os = "linux")]
+        {
+            let file = File::open(path.as_ref())?;
+            let map = Mmap::map_readonly(&file)?;
+            Self::from_backend(Backend::Mmap(map))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Self::open_heap(path)
+        }
+    }
+
+    /// Open `path` reading the whole file into memory (the portable
+    /// fallback backend; also used to A/B the mmap path in tests).
+    pub fn open_heap(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let mut buf = Vec::new();
+        File::open(path.as_ref())?.read_to_end(&mut buf)?;
+        Self::from_backend(Backend::Heap(buf))
+    }
+
+    fn from_backend(data: Backend) -> Result<Self, StoreError> {
+        let bytes = data.bytes();
+        if bytes.len() < HEADER_LEN {
+            return Err(format_err("file shorter than header"));
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(format_err("bad magic (not a pper store)"));
+        }
+        let version = read_u32(bytes, 8);
+        if version != VERSION {
+            return Err(format_err(format!("unsupported version {version}")));
+        }
+        let num_attrs = read_u32(bytes, 12) as usize;
+        let num_entities = read_u64(bytes, 16);
+        let arena_len = read_u64(bytes, 24);
+        let has_labels = bytes[32] != 0;
+        if num_attrs == 0 {
+            return Err(format_err("zero attribute count"));
+        }
+        let num_offsets = num_entities
+            .checked_mul(num_attrs as u64)
+            .and_then(|v| v.checked_add(1))
+            .ok_or_else(|| format_err("entity count overflows offset index"))?;
+        let offsets_pos = HEADER_LEN as u64 + arena_len;
+        let labels_pos = offsets_pos + num_offsets * 8;
+        let expected = labels_pos + if has_labels { num_entities * 4 } else { 0 };
+        if bytes.len() as u64 != expected {
+            return Err(format_err(format!(
+                "file is {} bytes, header implies {expected}",
+                bytes.len()
+            )));
+        }
+        let store = Self {
+            num_attrs,
+            num_entities,
+            offsets_pos: offsets_pos as usize,
+            labels_pos: has_labels.then_some(labels_pos as usize),
+            data,
+        };
+        // Structural sanity on the index bounds: the final offset must
+        // close the arena exactly. Interior offsets are checked per access.
+        if store.offset(num_offsets as usize - 1) != arena_len {
+            return Err(format_err("offset index does not close the arena"));
+        }
+        Ok(store)
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> u64 {
+        self.num_entities
+    }
+
+    /// True if the store holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.num_entities == 0
+    }
+
+    /// Attributes per entity.
+    pub fn num_attrs(&self) -> usize {
+        self.num_attrs
+    }
+
+    /// True if the store carries the ground-truth label column.
+    pub fn has_labels(&self) -> bool {
+        self.labels_pos.is_some()
+    }
+
+    /// Which backend serves reads (`"mmap"` or `"heap"`).
+    pub fn backend(&self) -> &'static str {
+        self.data.name()
+    }
+
+    #[inline]
+    fn offset(&self, idx: usize) -> u64 {
+        read_u64(self.data.bytes(), self.offsets_pos + idx * 8)
+    }
+
+    /// Raw bytes of attribute `a` of entity `e` — a view into the backing
+    /// arena, valid for the lifetime of the store.
+    ///
+    /// # Panics
+    /// Panics if `e`/`a` are out of range or the offset index is corrupt.
+    #[inline]
+    pub fn attr_bytes(&self, e: u64, a: usize) -> &[u8] {
+        assert!(e < self.num_entities, "entity {e} out of range");
+        assert!(a < self.num_attrs, "attribute {a} out of range");
+        let idx = e as usize * self.num_attrs + a;
+        let start = self.offset(idx);
+        let end = self.offset(idx + 1);
+        assert!(start <= end, "offset index corrupt at entity {e}");
+        let base = HEADER_LEN as u64;
+        &self.data.bytes()[(base + start) as usize..(base + end) as usize]
+    }
+
+    /// Attribute `a` of entity `e` as `&str` (UTF-8 is validated per read;
+    /// the arena was written from `&str` so this only fails on corruption).
+    #[inline]
+    pub fn attr(&self, e: u64, a: usize) -> Result<&str, StoreError> {
+        std::str::from_utf8(self.attr_bytes(e, a))
+            .map_err(|err| format_err(format!("attribute ({e},{a}) is not UTF-8: {err}")))
+    }
+
+    /// Fill `out` with all attribute views of entity `e` (clearing it
+    /// first). The reusable buffer makes row access allocation-free after
+    /// the first call.
+    pub fn row<'s>(&'s self, e: u64, out: &mut Vec<&'s str>) -> Result<(), StoreError> {
+        out.clear();
+        for a in 0..self.num_attrs {
+            out.push(self.attr(e, a)?);
+        }
+        Ok(())
+    }
+
+    /// Ground-truth label of entity `e`, if the store has a label column.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn label(&self, e: u64) -> Option<u32> {
+        let pos = self.labels_pos?;
+        assert!(e < self.num_entities, "entity {e} out of range");
+        Some(read_u32(self.data.bytes(), pos + e as usize * 4))
+    }
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], pos: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&bytes[pos..pos + 4]);
+    u32::from_le_bytes(b)
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], pos: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&bytes[pos..pos + 8]);
+    u64::from_le_bytes(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pper-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.store", std::process::id()))
+    }
+
+    fn build(path: &Path, rows: &[(&[&str], Option<u32>)], attrs: usize) -> StoreSummary {
+        let with_labels = rows.first().is_some_and(|r| r.1.is_some());
+        let mut b = StoreBuilder::create(path, attrs, with_labels).unwrap();
+        for (row, label) in rows {
+            b.push(row, *label).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_both_backends() {
+        let path = tmp("roundtrip");
+        let rows: Vec<(&[&str], Option<u32>)> = vec![
+            (&["hello", "", "wörld"][..], Some(7)),
+            (&["", "", ""][..], Some(7)),
+            (&["a", "bb", "ccc"][..], Some(9)),
+        ];
+        let summary = build(&path, &rows, 3);
+        assert_eq!(summary.entities, 3);
+        assert_eq!(
+            summary.arena_bytes,
+            ("hello".len() + "wörld".len() + 6) as u64
+        );
+
+        for store in [
+            EntityStore::open(&path).unwrap(),
+            EntityStore::open_heap(&path).unwrap(),
+        ] {
+            assert_eq!(store.len(), 3);
+            assert_eq!(store.num_attrs(), 3);
+            assert!(store.has_labels());
+            for (e, (row, label)) in rows.iter().enumerate() {
+                for (a, want) in row.iter().enumerate() {
+                    assert_eq!(store.attr(e as u64, a).unwrap(), *want);
+                }
+                assert_eq!(store.label(e as u64), *label);
+            }
+            let mut buf = Vec::new();
+            store.row(1, &mut buf).unwrap();
+            assert_eq!(buf, vec!["", "", ""]);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_default_backend_is_mmap() {
+        let path = tmp("backend");
+        build(&path, &[(&["x"][..], None)], 1);
+        let store = EntityStore::open(&path).unwrap();
+        assert_eq!(store.backend(), "mmap");
+        assert_eq!(EntityStore::open_heap(&path).unwrap().backend(), "heap");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let path = tmp("empty");
+        let b = StoreBuilder::create(&path, 2, false).unwrap();
+        let summary = b.finish().unwrap();
+        assert_eq!(summary.entities, 0);
+        let store = EntityStore::open(&path).unwrap();
+        assert!(store.is_empty());
+        assert!(!store.has_labels());
+        assert_eq!(store.label(0), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_attr_count_and_label_misuse() {
+        let path = tmp("misuse");
+        let mut b = StoreBuilder::create(&path, 2, true).unwrap();
+        assert!(b.push(&["only-one"], Some(0)).is_err());
+        assert!(b.push(&["a", "b"], None).is_err());
+        b.push(&["a", "b"], Some(1)).unwrap();
+        b.finish().unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_corrupt_headers() {
+        let path = tmp("corrupt");
+        build(&path, &[(&["abc"][..], None)], 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(EntityStore::open(&path).is_err());
+        // Truncation is caught by the size check.
+        build(&path, &[(&["abc"][..], None)], 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(EntityStore::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unfinished_builder_cleans_up() {
+        let path = tmp("dropped");
+        let offsets = sidecar(&path, "offsets.tmp");
+        {
+            let mut b = StoreBuilder::create(&path, 1, false).unwrap();
+            b.push(&["zzz"], None).unwrap();
+            assert!(offsets.exists());
+        }
+        assert!(!offsets.exists(), "sidecar must be removed on drop");
+        assert!(!path.exists(), "unfinished store must be removed on drop");
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_entities() {
+        use pper_datagen::BookGen;
+        let path = tmp("books");
+        let ds = BookGen::new(300, 11).generate();
+        let mut b = StoreBuilder::create(&path, ds.schema.len(), true).unwrap();
+        for e in &ds.entities {
+            b.push(&e.attrs, Some(ds.truth.cluster(e.id))).unwrap();
+        }
+        let summary = b.finish().unwrap();
+        assert_eq!(summary.entities, ds.len() as u64);
+
+        let store = EntityStore::open(&path).unwrap();
+        let mut row = Vec::new();
+        for e in &ds.entities {
+            store.row(u64::from(e.id), &mut row).unwrap();
+            let want: Vec<&str> = e.attrs.iter().map(String::as_str).collect();
+            assert_eq!(row, want, "entity {}", e.id);
+            assert_eq!(store.label(u64::from(e.id)), Some(ds.truth.cluster(e.id)));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

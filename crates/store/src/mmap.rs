@@ -1,0 +1,177 @@
+//! Minimal read-only `mmap(2)` wrapper.
+//!
+//! The workspace builds fully offline with no external crates, so there is
+//! no `libc`/`memmap2` to lean on; the two syscalls the store needs are
+//! declared directly against the C library that `std` already links on
+//! Linux. The wrapper owns the mapping (`munmap` on drop) and exposes it
+//! only as an immutable byte slice, so all unsafety is contained here.
+
+#![cfg(target_os = "linux")]
+
+use std::fs::File;
+use std::os::fd::AsRawFd;
+
+use core::ffi::c_void;
+
+// Stable constants from the Linux userspace ABI (asm-generic/mman-common.h).
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+const MAP_FAILED: isize = -1;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, length: usize) -> i32;
+}
+
+/// A read-only, private, file-backed memory mapping.
+///
+/// `Send + Sync` is sound because the mapping is immutable for its whole
+/// lifetime: `PROT_READ` forbids writes through it, `MAP_PRIVATE` insulates
+/// it from concurrent writers of the file (writes made after the map may or
+/// may not be visible, but the store format is write-once-then-read), and
+/// the pointer is never handed out mutably.
+pub struct Mmap {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// SAFETY: see the argument on the type — the mapping is immutable and
+// owned, so sharing references across threads cannot race.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map the whole of `file` read-only. Empty files produce an empty
+    /// (unmapped) view, since `mmap` rejects zero-length mappings.
+    pub fn map_readonly(file: &File) -> std::io::Result<Self> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "file too large to map",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Self {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: a fresh private read-only mapping of `len` bytes over an
+        // open fd; arguments match the documented contract (addr = NULL lets
+        // the kernel choose, offset 0 is page-aligned). The result is
+        // checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == MAP_FAILED {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self { ptr, len })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty (zero-length) mapping.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes
+        // (established in `map_readonly`, released only in `drop`); the
+        // returned lifetime is tied to `&self`, so the slice cannot outlive
+        // the mapping. Immutability is guaranteed by PROT_READ|MAP_PRIVATE.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: unmapping exactly the region mapped in `map_readonly`;
+            // after this the pointer is never used again (we are in drop).
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join(format!("pper-mmap-test-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"mapped bytes").unwrap();
+        f.sync_all().unwrap();
+        let m = Mmap::map_readonly(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*m, b"mapped bytes");
+        assert_eq!(m.len(), 12);
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = std::env::temp_dir().join(format!("pper-mmap-empty-{}", std::process::id()));
+        File::create(&path).unwrap();
+        let m = Mmap::map_readonly(&File::open(&path).unwrap()).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice(), &[] as &[u8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let path = std::env::temp_dir().join(format!("pper-mmap-threads-{}", std::process::id()));
+        std::fs::write(&path, vec![7u8; 4096]).unwrap();
+        let m = Mmap::map_readonly(&File::open(&path).unwrap()).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| assert!(m.as_slice().iter().all(|&b| b == 7)));
+            }
+        });
+        std::fs::remove_file(&path).unwrap();
+    }
+}
