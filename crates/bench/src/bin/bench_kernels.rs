@@ -46,7 +46,7 @@ fn kernel_records(
     (string, prep)
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let opts = ExpOptions::from_args(400);
     let n = if opts.quick {
         opts.entities.min(150)
@@ -165,8 +165,9 @@ fn main() {
         report.push(p);
     }
 
-    report.emit(&opts.out_dir);
+    report.emit(&opts.out_dir)?;
     if speedup < 3.0 && !opts.quick {
         eprintln!("WARNING: prepared speedup {speedup:.1}x below the 3x target");
     }
+    Ok(())
 }

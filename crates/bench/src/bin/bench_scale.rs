@@ -111,7 +111,7 @@ fn parse_vm_hwm(status: &str) -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let opts = ScaleOptions::from_args();
     let budget_bytes = opts.budget_mib * 1024 * 1024;
     // The sorter gets a 1/16 slice of the budget: the rest is headroom for
@@ -120,7 +120,7 @@ fn main() {
     // 1M-entity sort spills into 4 on-disk runs.
     let run_capacity = ((budget_bytes / 16) / SORT_RECORD_BYTES).max(1024) as usize;
 
-    std::fs::create_dir_all(&opts.out_dir).expect("create output dir");
+    std::fs::create_dir_all(&opts.out_dir)?;
     let store_path = opts
         .store_path
         .clone()
@@ -139,13 +139,15 @@ fn main() {
     let gen = BookGen::new(opts.entities, opts.seed);
     let start = Instant::now();
     let mut stream = gen.records();
-    let mut builder =
-        StoreBuilder::create(&store_path, BookGen::schema().len(), true).expect("create store");
+    let mut builder = StoreBuilder::create(&store_path, BookGen::schema().len(), true)
+        .map_err(std::io::Error::other)?;
     for (cluster, attrs) in stream.by_ref() {
-        builder.push(&attrs, Some(cluster)).expect("push entity");
+        builder
+            .push(&attrs, Some(cluster))
+            .map_err(std::io::Error::other)?;
     }
     let true_pairs = stream.duplicate_pairs();
-    let summary = builder.finish().expect("finish store");
+    let summary = builder.finish().map_err(std::io::Error::other)?;
     report.push(BenchRecord::from_total(
         "generate_store",
         summary.entities,
@@ -231,11 +233,12 @@ fn main() {
         if opts.quick { " (quick mode)" } else { "" }
     ));
 
-    report.emit(&opts.out_dir);
+    report.emit(&opts.out_dir)?;
     drop(store);
     if !opts.keep_store {
         std::fs::remove_file(&store_path).ok();
     }
+    Ok(())
 }
 
 #[derive(Default)]

@@ -325,7 +325,7 @@ fn end_to_end(records: usize) -> WallPhases {
     r.wall_phases
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let opts = ExpOptions::from_args(500_000);
     let records = if opts.quick {
         opts.entities.min(40_000)
@@ -371,5 +371,6 @@ fn main() {
         phases.map, phases.shuffle, phases.reduce
     ));
 
-    report.emit(&opts.out_dir);
+    report.emit(&opts.out_dir)?;
+    Ok(())
 }

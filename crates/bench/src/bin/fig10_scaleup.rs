@@ -15,7 +15,7 @@ use pper_bench::{common_max_cost, ExpOptions, Figure, Series};
 use pper_datagen::BookGen;
 use pper_er::{BasicApproach, BasicConfig, ErConfig, ProgressiveEr};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let opts = ExpOptions::from_args(30_000);
     eprintln!("generating {} book entities…", opts.entities);
     let ds = BookGen::new(opts.entities, opts.seed).generate();
@@ -64,7 +64,7 @@ fn main() {
                 14,
             ));
         }
-        fig.emit(&opts.out_dir);
+        fig.emit(&opts.out_dir)?;
 
         println!(
             "μ={machines} θ={theta}: ours overhead ends at cost {:.0}; recall there: ours {:.3} vs best basic {:.3}",
@@ -77,4 +77,5 @@ fn main() {
         );
         println!();
     }
+    Ok(())
 }

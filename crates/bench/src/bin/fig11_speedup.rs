@@ -15,7 +15,7 @@ use pper_bench::{ExpOptions, Figure, Series};
 use pper_datagen::BookGen;
 use pper_er::{metrics::speedup_at, ErConfig, ProgressiveEr};
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let opts = ExpOptions::from_args(30_000);
     eprintln!("generating {} book entities…", opts.entities);
     let ds = BookGen::new(opts.entities, opts.seed).generate();
@@ -55,7 +55,7 @@ fn main() {
             total_cost: last,
         });
     }
-    fig.emit(&opts.out_dir);
+    fig.emit(&opts.out_dir)?;
 
     println!(
         "{:>10} {:>18} {:>18}",
@@ -71,4 +71,5 @@ fn main() {
             s9.map_or("-".into(), |s| format!("{s:.2}")),
         );
     }
+    Ok(())
 }

@@ -26,7 +26,7 @@ fn run_record(
     BenchRecord::from_total(name, run.counters.get("pairs_compared"), elapsed)
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let opts = ExpOptions::from_args(20_000);
     let machines = 10;
     eprintln!("generating {} publication entities…", opts.entities);
@@ -140,7 +140,7 @@ fn main() {
             max_cost,
             steps,
         ));
-        fig.emit(&opts.out_dir);
+        fig.emit(&opts.out_dir)?;
     }
 
     // ---- Table III: final recall + total execution cost -----------------
@@ -183,5 +183,6 @@ fn main() {
         ours.total_cost
     );
 
-    bench.emit(&opts.out_dir);
+    bench.emit(&opts.out_dir)?;
+    Ok(())
 }

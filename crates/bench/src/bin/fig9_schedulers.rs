@@ -15,7 +15,7 @@ use pper_datagen::PubGen;
 use pper_er::{ErConfig, ProgressiveEr};
 use pper_schedule::TreeScheduler;
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let opts = ExpOptions::from_args(20_000);
     eprintln!("generating {} publication entities…", opts.entities);
     let ds = PubGen::new(opts.entities, opts.seed).generate();
@@ -42,7 +42,7 @@ fn main() {
         for (label, result) in &runs {
             fig.push(Series::from_curve(*label, &result.curve, max_cost, 14));
         }
-        fig.emit(&opts.out_dir);
+        fig.emit(&opts.out_dir)?;
 
         // Quantify the gap like the paper's discussion: cost to reach 0.8.
         for (label, result) in &runs {
@@ -54,4 +54,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

@@ -47,7 +47,7 @@ fn matches(a: &SkewedRecord, b: &SkewedRecord) -> bool {
     a.payload % 1000 == b.payload % 1000
 }
 
-fn main() {
+fn main() -> std::io::Result<()> {
     let opts = ExpOptions::from_args(20_000);
     let machines = if opts.quick { 4 } else { 10 };
     let keys = (opts.entities / 40).max(8);
@@ -135,10 +135,11 @@ fn main() {
         reduce_tasks,
         strategies: reports,
     };
-    std::fs::create_dir_all(&opts.out_dir).expect("create experiment output dir");
+    std::fs::create_dir_all(&opts.out_dir)?;
     let path = opts.out_dir.join("fig-loadbalance.json");
-    let mut f = std::fs::File::create(&path).expect("create figure json");
-    serde_json::to_writer_pretty(&mut f, &figure).expect("serialize figure");
-    writeln!(f).ok();
+    let mut f = std::fs::File::create(&path)?;
+    serde_json::to_writer_pretty(&mut f, &figure).map_err(std::io::Error::other)?;
+    writeln!(f)?;
     eprintln!("wrote {}", path.display());
+    Ok(())
 }

@@ -220,13 +220,19 @@ mod tests {
         std::fs::create_dir_all(&baseline_dir).unwrap();
         std::fs::create_dir_all(&fresh_dir).unwrap();
 
-        report("kernels", &[("pairs", 1000.0)]).emit(&baseline_dir);
-        report("kernels", &[("pairs", 900.0)]).emit(&fresh_dir);
+        report("kernels", &[("pairs", 1000.0)])
+            .emit(&baseline_dir)
+            .unwrap();
+        report("kernels", &[("pairs", 900.0)])
+            .emit(&fresh_dir)
+            .unwrap();
         let s = run_check(&baseline_dir, &fresh_dir, &["kernels"], 0.25);
         assert!(s.passed(), "{:?}", s.failures);
 
         // Injected regression must fail the gate.
-        report("kernels", &[("pairs", 10.0)]).emit(&fresh_dir);
+        report("kernels", &[("pairs", 10.0)])
+            .emit(&fresh_dir)
+            .unwrap();
         let s = run_check(&baseline_dir, &fresh_dir, &["kernels"], 0.25);
         assert!(!s.passed());
 

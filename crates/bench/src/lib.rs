@@ -164,15 +164,18 @@ impl Figure {
         out
     }
 
-    /// Print to stdout and persist JSON under `out_dir`.
-    pub fn emit(&self, out_dir: &std::path::Path) {
+    /// Print to stdout and persist JSON under `out_dir`. An unwritable
+    /// output directory surfaces as the error (a long sweep's results
+    /// still printed above; the caller decides whether that's fatal).
+    pub fn emit(&self, out_dir: &std::path::Path) -> std::io::Result<()> {
         println!("{}", self.render_text());
-        std::fs::create_dir_all(out_dir).expect("create experiment output dir");
+        std::fs::create_dir_all(out_dir)?;
         let path = out_dir.join(format!("{}.json", self.name));
-        let mut f = std::fs::File::create(&path).expect("create figure json");
-        serde_json::to_writer_pretty(&mut f, self).expect("serialize figure");
-        writeln!(f).ok();
+        let mut f = std::fs::File::create(&path)?;
+        serde_json::to_writer_pretty(&mut f, self).map_err(std::io::Error::other)?;
+        writeln!(f)?;
         eprintln!("wrote {}", path.display());
+        Ok(())
     }
 }
 
@@ -277,14 +280,17 @@ impl BenchReport {
     }
 
     /// Print to stdout and persist as `BENCH_<name>.json` under `out_dir`.
-    pub fn emit(&self, out_dir: &std::path::Path) {
+    /// An unwritable output directory surfaces as the error instead of
+    /// aborting the process mid-report.
+    pub fn emit(&self, out_dir: &std::path::Path) -> std::io::Result<()> {
         println!("{}", self.render_text());
-        std::fs::create_dir_all(out_dir).expect("create experiment output dir");
+        std::fs::create_dir_all(out_dir)?;
         let path = out_dir.join(format!("BENCH_{}.json", self.name));
-        let mut f = std::fs::File::create(&path).expect("create bench json");
-        serde_json::to_writer_pretty(&mut f, self).expect("serialize bench report");
-        writeln!(f).ok();
+        let mut f = std::fs::File::create(&path)?;
+        serde_json::to_writer_pretty(&mut f, self).map_err(std::io::Error::other)?;
+        writeln!(f)?;
         eprintln!("wrote {}", path.display());
+        Ok(())
     }
 }
 
@@ -362,7 +368,7 @@ mod tests {
         assert!(text.contains("== probe — unit-test report =="));
         assert!(text.contains("-- speedup 2.0x"));
         let dir = std::env::temp_dir().join("pper-bench-report-test");
-        rep.emit(&dir);
+        rep.emit(&dir).unwrap();
         let json = std::fs::read_to_string(dir.join("BENCH_probe.json")).unwrap();
         serde_json::parse_value_str(&json).expect("emitted JSON must parse");
         assert!(json.contains("\"name\": \"a\""));

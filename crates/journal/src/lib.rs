@@ -45,6 +45,12 @@ pub use store::{FileStore, JournalStore, MemStore};
 pub enum JournalError {
     /// The backing store failed (I/O error, unwritable directory, ...).
     Store(String),
+    /// A typed storage fault from the VFS layer. Unlike [`Store`], the
+    /// class (transient / permanent / corrupt, plus a disk-full marker) is
+    /// machine-readable, so recovery policies can branch on it.
+    ///
+    /// [`Store`]: JournalError::Store
+    Fault(pper_vfs::IoFault),
     /// No journal exists for the requested job id.
     NotFound(String),
     /// A job id contains characters the store cannot map to a file name.
@@ -63,6 +69,7 @@ impl std::fmt::Display for JournalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JournalError::Store(m) => write!(f, "journal store error: {m}"),
+            JournalError::Fault(fault) => write!(f, "journal storage fault: {fault}"),
             JournalError::NotFound(job) => write!(f, "no journal for job '{job}'"),
             JournalError::BadJobId(job) => write!(
                 f,
@@ -76,3 +83,9 @@ impl std::fmt::Display for JournalError {
 }
 
 impl std::error::Error for JournalError {}
+
+impl From<pper_vfs::IoFault> for JournalError {
+    fn from(fault: pper_vfs::IoFault) -> Self {
+        JournalError::Fault(fault)
+    }
+}

@@ -5,14 +5,23 @@
 //! use [`FileStore`], one fsync'd file per job, so a `kill -9` after a
 //! synced append can lose at most the record being written (a torn tail
 //! the frame layer recovers from).
+//!
+//! [`FileStore`] routes every file operation through a [`pper_vfs::Vfs`]
+//! (pper-lint rule D5 bans direct `std::fs` here), so chaos suites can
+//! inject disk faults deterministically. Failed appends are rolled back
+//! with `set_len` so a transient fault's partial bytes never linger as a
+//! torn tail, and transient write faults are retried in place under a
+//! bounded [`RetryPolicy`]; what cannot be recovered surfaces as the typed
+//! [`JournalError::Fault`].
 
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use pper_vfs::{retry_io, IoFault, IoOp, RetryPolicy, Vfs, VfsFile};
 
 use crate::JournalError;
 
@@ -136,21 +145,32 @@ impl JournalStore for MemStore {
     }
 }
 
-/// One fsync'd `<job>.journal` file per job under a directory.
+/// One fsync'd `<job>.journal` file per job under a directory, written
+/// through a [`Vfs`].
 pub struct FileStore {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    retry: RetryPolicy,
     // Cached append handles so repeated appends don't reopen the file.
-    handles: Mutex<BTreeMap<String, File>>,
+    handles: Mutex<BTreeMap<String, Box<dyn VfsFile>>>,
 }
 
 impl FileStore {
-    /// Open (creating if needed) a store rooted at `dir`.
+    /// Open (creating if needed) a store rooted at `dir` on the real
+    /// filesystem.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, JournalError> {
+        Self::open_with(pper_vfs::std_vfs(), dir)
+    }
+
+    /// [`FileStore::open`] through an explicit [`Vfs`] (chaos suites
+    /// inject faults here).
+    pub fn open_with(vfs: Arc<dyn Vfs>, dir: impl AsRef<Path>) -> Result<Self, JournalError> {
         let dir = dir.as_ref().to_path_buf();
-        std::fs::create_dir_all(&dir)
-            .map_err(|e| JournalError::Store(format!("create {}: {e}", dir.display())))?;
+        vfs.create_dir_all(&dir)?;
         Ok(Self {
             dir,
+            vfs,
+            retry: RetryPolicy::default(),
             handles: Mutex::new(BTreeMap::new()),
         })
     }
@@ -158,6 +178,12 @@ impl FileStore {
     /// As [`FileStore::open`], but behind an `Arc<dyn JournalStore>`.
     pub fn shared(dir: impl AsRef<Path>) -> Result<Arc<dyn JournalStore>, JournalError> {
         Ok(Arc::new(Self::open(dir)?))
+    }
+
+    /// Override the transient-fault retry policy for appends.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Path of a job's journal file.
@@ -175,95 +201,74 @@ impl std::fmt::Debug for FileStore {
 impl JournalStore for FileStore {
     fn append(&self, job: &str, bytes: &[u8]) -> Result<u64, JournalError> {
         check_job_id(job)?;
+        let path = self.path_for(job);
         let mut handles = self.handles.lock();
-        let file = match handles.get_mut(job) {
-            Some(f) => f,
-            None => {
-                let path = self.path_for(job);
-                let f = OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .read(true)
-                    .open(&path)
-                    .map_err(|e| JournalError::Store(format!("open {}: {e}", path.display())))?;
-                handles.entry(job.to_string()).or_insert(f)
-            }
+        let file = match handles.entry(job.to_string()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(v) => v.insert(self.vfs.open_append(&path)?),
         };
         let offset = file
             .seek(SeekFrom::End(0))
-            .map_err(|e| JournalError::Store(format!("seek {job}: {e}")))?;
-        file.write_all(bytes)
-            .map_err(|e| JournalError::Store(format!("append {job}: {e}")))?;
+            .map_err(|e| IoFault::classify(IoOp::Write, &path, &e))?;
+        // Transient faults are retried in place; between attempts the log
+        // is rolled back to `offset` so partial bytes from a failed write
+        // never linger. (The frame layer would survive a torn tail anyway,
+        // but rollback keeps the on-disk log dense and the returned offset
+        // truthful.)
+        let (result, _stats) = retry_io(&self.retry, || {
+            file.write_all(bytes)
+                .and_then(|()| file.flush())
+                .map_err(|e| {
+                    let fault = IoFault::classify(IoOp::Write, &path, &e);
+                    let _ = file.set_len(offset);
+                    let _ = file.seek(SeekFrom::End(0));
+                    fault
+                })
+        });
+        result?;
         Ok(offset)
     }
 
     fn read(&self, job: &str) -> Result<Vec<u8>, JournalError> {
         check_job_id(job)?;
         let path = self.path_for(job);
-        let mut buf = Vec::new();
-        match File::open(&path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut buf)
-                    .map_err(|e| JournalError::Store(format!("read {}: {e}", path.display())))?;
-                Ok(buf)
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(JournalError::NotFound(job.to_string()))
-            }
-            Err(e) => Err(JournalError::Store(format!("open {}: {e}", path.display()))),
+        match self.vfs.try_read(&path)? {
+            Some(buf) => Ok(buf),
+            None => Err(JournalError::NotFound(job.to_string())),
         }
     }
 
     fn sync(&self, job: &str) -> Result<(), JournalError> {
         check_job_id(job)?;
-        let handles = self.handles.lock();
-        if let Some(file) = handles.get(job) {
+        let path = self.path_for(job);
+        let mut handles = self.handles.lock();
+        if let Some(file) = handles.get_mut(job) {
             file.sync_data()
-                .map_err(|e| JournalError::Store(format!("sync {job}: {e}")))?;
+                .map_err(|e| IoFault::classify(IoOp::Fsync, &path, &e))?;
         }
         Ok(())
     }
 
     fn truncate_log(&self, job: &str, len: u64) -> Result<(), JournalError> {
         check_job_id(job)?;
-        let path = self.path_for(job);
-        match OpenOptions::new().write(true).open(&path) {
-            Ok(f) => {
-                let cur = f
-                    .metadata()
-                    .map_err(|e| JournalError::Store(format!("stat {}: {e}", path.display())))?
-                    .len();
-                if len < cur {
-                    f.set_len(len).map_err(|e| {
-                        JournalError::Store(format!("truncate {}: {e}", path.display()))
-                    })?;
-                    f.sync_data().map_err(|e| {
-                        JournalError::Store(format!("sync {}: {e}", path.display()))
-                    })?;
-                }
-                Ok(())
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(JournalError::Store(format!("open {}: {e}", path.display()))),
-        }
+        // `Vfs::truncate` only shrinks (len past the end is a no-op) and
+        // returns Ok(false) for a missing file — both exactly the contract
+        // here. The cached append handle stays valid: every append seeks
+        // to the (new) end first.
+        self.vfs.truncate(&self.path_for(job), len)?;
+        Ok(())
     }
 
     fn list_jobs(&self) -> Result<Vec<String>, JournalError> {
-        let entries = std::fs::read_dir(&self.dir)
-            .map_err(|e| JournalError::Store(format!("list {}: {e}", self.dir.display())))?;
         let mut jobs = Vec::new();
-        for entry in entries {
-            let entry = entry
-                .map_err(|e| JournalError::Store(format!("list {}: {e}", self.dir.display())))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        // list_dir returns sorted names, so `jobs` stays sorted.
+        for name in self.vfs.list_dir(&self.dir)? {
             if let Some(job) = name.strip_suffix(".journal") {
                 if check_job_id(job).is_ok() {
                     jobs.push(job.to_string());
                 }
             }
         }
-        jobs.sort();
         Ok(jobs)
     }
 }
@@ -271,6 +276,7 @@ impl JournalStore for FileStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pper_vfs::{FaultKind, FaultVfs, IoFaultPlan};
 
     fn exercise(store: &dyn JournalStore) {
         assert!(matches!(store.read("nope"), Err(JournalError::NotFound(_))));
@@ -294,6 +300,22 @@ mod tests {
         }
     }
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pper-journal-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fault_store(dir: &Path, plan: IoFaultPlan) -> (FileStore, FaultVfs) {
+        let fvfs = FaultVfs::new(plan).unwrap();
+        let store = FileStore::open_with(Arc::new(fvfs.clone()), dir).unwrap();
+        (store, fvfs)
+    }
+
     #[test]
     fn mem_store_contract() {
         exercise(&MemStore::new());
@@ -301,18 +323,96 @@ mod tests {
 
     #[test]
     fn file_store_contract() {
-        let dir = std::env::temp_dir().join(format!(
-            "pper-journal-store-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmp_dir("contract");
         let store = FileStore::open(&dir).unwrap();
         exercise(&store);
         // A fresh store over the same directory sees the same bytes.
         let reopened = FileStore::open(&dir).unwrap();
         assert_eq!(reopened.read("job-a").unwrap(), b"hello world");
         assert_eq!(reopened.list_jobs().unwrap(), vec!["job-a", "job-b"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_log_missing_file_is_noop() {
+        let dir = tmp_dir("trunc-missing");
+        let store = FileStore::open(&dir).unwrap();
+        // Never written: truncating must succeed and create nothing.
+        store.truncate_log("ghost", 0).unwrap();
+        store.truncate_log("ghost", 999).unwrap();
+        assert!(!store.path_for("ghost").exists());
+        assert!(matches!(
+            store.read("ghost"),
+            Err(JournalError::NotFound(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_log_permission_denied_is_typed() {
+        // Root bypasses real permission bits in this container, so the
+        // EACCES branch is exercised with an injected fault instead.
+        let dir = tmp_dir("trunc-eacces");
+        let plan =
+            IoFaultPlan::new().with_at(IoOp::Truncate, "job-a", 0, FaultKind::PermissionDenied);
+        let (store, fvfs) = fault_store(&dir, plan);
+        store.append("job-a", b"hello world").unwrap();
+        let err = store.truncate_log("job-a", 5).unwrap_err();
+        match err {
+            JournalError::Fault(f) => {
+                assert!(f.is_permanent(), "{f}");
+                assert_eq!(f.info().op, IoOp::Truncate);
+            }
+            other => panic!("expected typed fault, got {other:?}"),
+        }
+        assert_eq!(fvfs.faults_fired(), 1);
+        // The log is untouched by the failed truncate.
+        assert_eq!(store.read("job-a").unwrap(), b"hello world");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncate_then_append_round_trips() {
+        let dir = tmp_dir("trunc-roundtrip");
+        let store = FileStore::open(&dir).unwrap();
+        store.append("job-a", b"hello world").unwrap();
+        store.sync("job-a").unwrap();
+        store.truncate_log("job-a", 5).unwrap();
+        // The append lands exactly at the truncation point, through the
+        // cached handle that predates the truncate.
+        assert_eq!(store.append("job-a", b" again").unwrap(), 5);
+        store.sync("job-a").unwrap();
+        assert_eq!(store.read("job-a").unwrap(), b"hello again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_append_fault_is_retried_without_torn_tail() {
+        let dir = tmp_dir("append-transient");
+        // Write index 0 is the first append; fault the second one, once.
+        let plan =
+            IoFaultPlan::new().with_at(IoOp::Write, "job-a", 1, FaultKind::Transient { times: 1 });
+        let (store, fvfs) = fault_store(&dir, plan);
+        store.append("job-a", b"first").unwrap();
+        assert_eq!(store.append("job-a", b"second").unwrap(), 5);
+        assert!(fvfs.faults_fired() >= 1, "the injected fault must fire");
+        assert_eq!(store.read("job-a").unwrap(), b"firstsecond");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_append_is_rolled_back_and_typed() {
+        let dir = tmp_dir("append-enospc");
+        let plan = IoFaultPlan::new().with_at(IoOp::Write, "job-a", 1, FaultKind::Enospc);
+        let (store, _fvfs) = fault_store(&dir, plan);
+        store.append("job-a", b"keep").unwrap();
+        let err = store.append("job-a", b"lost").unwrap_err();
+        match err {
+            JournalError::Fault(f) => assert!(f.is_disk_full(), "{f}"),
+            other => panic!("expected disk-full fault, got {other:?}"),
+        }
+        // Rollback: the log still ends at the last successful append.
+        assert_eq!(store.read("job-a").unwrap(), b"keep");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,6 +9,9 @@
 //! | `relaxed`   | D3: every `Ordering::Relaxed` carries a written justification    |
 //! | `panic_path`| D4: no `unwrap`/`expect`/`panic!` in the runtime hot paths       |
 //! |             | or anywhere in the durability-critical `journal` crate           |
+//! | `direct_fs` | D5: no direct `std::fs` / `File::` / `OpenOptions::` access in   |
+//! |             | the out-of-core crates — file I/O must route through the         |
+//! |             | fault-injectable `pper_vfs::Vfs` seam                            |
 //!
 //! Any diagnostic can be suppressed with a `// lint:allow(<rule>) <reason>`
 //! comment on the same line or in the comment block directly above it; the
@@ -81,8 +84,28 @@ const ORDER_INSENSITIVE_COLLECTS: &[&str] = &[
 /// relative suffixes under the mapreduce crate.
 const D4_FILES: &[&str] = &["runtime.rs", "shuffle.rs", "driver.rs"];
 
+/// Crates whose production code must route file I/O through the
+/// fault-injectable `pper_vfs::Vfs` seam (rule D5): the out-of-core
+/// storage crates, where the chaos suites have to be able to inject disk
+/// faults under every write. The `vfs` crate itself (the one place
+/// allowed to touch `std::fs`) is outside this list by construction.
+const D5_CRATES: &[&str] = &["store", "journal"];
+
+/// Mapreduce files under D5 (the external-sort spill path).
+const D5_FILES: &[&str] = &["extsort.rs"];
+
+/// Type names whose `X::…` associated calls D5 flags as direct
+/// filesystem access.
+const D5_FS_TYPES: &[&str] = &["File", "OpenOptions"];
+
 /// All valid rule ids, for `lint:allow` validation.
-pub const RULE_IDS: &[&str] = &["hash_iter", "wall_clock", "relaxed", "panic_path"];
+pub const RULE_IDS: &[&str] = &[
+    "hash_iter",
+    "wall_clock",
+    "relaxed",
+    "panic_path",
+    "direct_fs",
+];
 
 /// One finding, ready to render as `file:line: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -164,6 +187,14 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
         || scope.crate_dir == "journal";
     if d4_scope {
         rule_panic_path(path, &lexed.tokens, &mask, &mut raw);
+    }
+    // D5 guards the out-of-core path: any file access that bypasses the
+    // Vfs seam is invisible to fault injection, so the chaos conformance
+    // sweep would silently stop covering it.
+    let d5_scope = D5_CRATES.contains(&scope.crate_dir.as_str())
+        || (scope.crate_dir == "mapreduce" && D5_FILES.contains(&scope.file_name.as_str()));
+    if d5_scope {
+        rule_direct_fs(path, &lexed.tokens, &mask, &mut raw);
     }
 
     // Apply the allowlist, then validate the annotations themselves.
@@ -744,6 +775,57 @@ fn rule_panic_path(path: &str, tokens: &[Token], mask: &[bool], diags: &mut Vec<
     }
 }
 
+// ---------------------------------------------------------------------------
+// D5: direct_fs
+
+fn rule_direct_fs(path: &str, tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>) {
+    for i in 0..tokens.len() {
+        if mask[i] {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `std::fs` (including `use std::fs::…`).
+        let std_fs = t.text == "std"
+            && is_path_sep(tokens, i + 1)
+            && tokens.get(i + 3).is_some_and(|n| is_ident(n, "fs"));
+        // Bare `fs::…` via `use std::fs;` — skip when preceded by `::`
+        // (that occurrence is already flagged as part of `std::fs`).
+        let bare_fs =
+            t.text == "fs" && is_path_sep(tokens, i + 1) && !(i >= 2 && is_path_sep(tokens, i - 2));
+        if std_fs || bare_fs {
+            push(
+                diags,
+                path,
+                t.line,
+                "direct_fs",
+                "`std::fs` bypasses the fault-injectable VFS seam, so chaos suites \
+                 cannot cover this I/O; route it through `pper_vfs::Vfs` or justify \
+                 with `// lint:allow(direct_fs) <reason>`"
+                    .to_string(),
+            );
+            continue;
+        }
+        // `File::open(…)`, `OpenOptions::new(…)` associated calls.
+        if D5_FS_TYPES.contains(&t.text.as_str()) && is_path_sep(tokens, i + 1) {
+            push(
+                diags,
+                path,
+                t.line,
+                "direct_fs",
+                format!(
+                    "direct `{}::` file access bypasses the fault-injectable VFS seam; \
+                     route it through `pper_vfs::Vfs` or justify with \
+                     `// lint:allow(direct_fs) <reason>`",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -868,6 +950,45 @@ mod tests {
             rules_of("crates/journal/src/journal.rs", src),
             vec!["hash_iter", "wall_clock"]
         );
+    }
+
+    #[test]
+    fn direct_fs_scopes_to_out_of_core_crates() {
+        let src = "fn f() { let bytes = std::fs::read(\"x\").unwrap(); }";
+        assert!(rules_of("crates/store/src/lib.rs", src).contains(&"direct_fs".to_string()));
+        assert!(rules_of("crates/journal/src/store.rs", src).contains(&"direct_fs".to_string()));
+        assert_eq!(
+            rules_of("crates/mapreduce/src/extsort.rs", src),
+            vec!["direct_fs"]
+        );
+        // Elsewhere (and in the vfs crate itself) direct fs access is fine.
+        assert!(rules_of("crates/mapreduce/src/runtime.rs", src)
+            .iter()
+            .all(|r| r != "direct_fs"));
+        assert!(rules_of("crates/vfs/src/lib.rs", src).is_empty());
+        assert!(rules_of("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn direct_fs_flags_type_entry_points_and_bare_fs() {
+        let src = "use std::fs;\n\
+                   fn f() {\n\
+                   let _ = fs::remove_file(\"x\");\n\
+                   let f = File::open(\"x\");\n\
+                   let o = OpenOptions::new();\n\
+                   }";
+        let rules = rules_of("crates/store/src/lib.rs", src);
+        // One for the use, one for bare `fs::`, one each for File/OpenOptions.
+        assert_eq!(rules, vec!["direct_fs"; 4], "{rules:?}");
+    }
+
+    #[test]
+    fn direct_fs_respects_allow_and_cfg_test() {
+        let src = "fn f() {\n\
+                   // lint:allow(direct_fs) mmap setup probes the real fs once at open\n\
+                   let m = std::fs::metadata(\"x\"); }\n\
+                   #[cfg(test)] mod tests { fn t() { std::fs::write(\"x\", b\"y\"); } }";
+        assert!(rules_of("crates/store/src/lib.rs", src).is_empty());
     }
 
     #[test]

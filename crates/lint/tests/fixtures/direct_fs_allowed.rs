@@ -1,0 +1,19 @@
+//@ path: crates/journal/src/store.rs
+//! D5 `direct_fs` negatives: justified escapes and test code stay silent.
+
+fn disk_free_hint(path: &str) -> bool {
+    // lint:allow(direct_fs) one-shot startup probe; never on the recovery path
+    std::fs::metadata(path).is_ok()
+}
+
+fn through_the_seam(vfs: &dyn Vfs, path: &Path) -> Result<Vec<u8>, IoFault> {
+    vfs.read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn setup_uses_real_fs() {
+        std::fs::create_dir_all("/tmp/x").unwrap();
+    }
+}

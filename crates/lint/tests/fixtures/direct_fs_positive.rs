@@ -1,0 +1,13 @@
+//@ path: crates/store/src/lib.rs
+//! D5 `direct_fs` positives: direct filesystem access in an out-of-core
+//! crate must be reported — it bypasses the fault-injectable VFS seam.
+
+use std::fs;
+
+fn load(path: &str) -> Vec<u8> {
+    let bytes = fs::read(path).unwrap_or_default();
+    let _probe = File::open(path);
+    let _opts = OpenOptions::new();
+    std::fs::remove_file(path).ok();
+    bytes
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pper_vfs::IoFault;
+
 /// Errors surfaced by [`crate::runtime::run_job`].
 #[derive(Debug)]
 pub enum MrError {
@@ -11,6 +13,11 @@ pub enum MrError {
     TaskPanicked { task: String, message: String },
     /// Spill/serialization failure in the intermediate store.
     Spill(String),
+    /// A typed storage fault from the out-of-core path (spill runs, store
+    /// files, journals). The class drives recovery: transient faults were
+    /// already retried in place, corrupt artifacts are quarantined and the
+    /// producing stage re-run, permanent faults surface here.
+    Io(IoFault),
     /// A [`crate::faults::FaultPlan`] referenced tasks the job does not have
     /// or used nonsensical parameters.
     InvalidFaultPlan(String),
@@ -53,6 +60,7 @@ impl fmt::Display for MrError {
                 write!(f, "task {task} panicked: {message}")
             }
             MrError::Spill(msg) => write!(f, "spill error: {msg}"),
+            MrError::Io(fault) => write!(f, "storage fault: {fault}"),
             MrError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             MrError::TaskFailed {
                 task,
@@ -82,6 +90,12 @@ impl fmt::Display for MrError {
 }
 
 impl std::error::Error for MrError {}
+
+impl From<IoFault> for MrError {
+    fn from(fault: IoFault) -> Self {
+        MrError::Io(fault)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -121,8 +121,10 @@ pub mod prelude {
     pub use crate::counters::Counters;
     pub use crate::driver::{Driver, StageReport};
     pub use crate::error::MrError;
-    pub use crate::extsort::{ExternalSorter, SortedStream};
+    pub use crate::extsort::{ExternalSorter, SortedStream, SpillFullPolicy};
     pub use crate::faults::{AttemptFault, FaultPlan, InjectedAbort, SpeculationConfig};
+    // Storage-fault vocabulary, re-exported so spill consumers configure
+    // fault plans and retries without naming pper-vfs directly.
     pub use crate::job::{
         ClusterSpec, Combiner, Emitter, GroupReducer, JobConfig, Mapper, PartitionReducer, Reducer,
         TaskContext, TaskId, TaskKind,
@@ -146,6 +148,9 @@ pub mod prelude {
         ShuffleSpillStats,
     };
     pub use crate::spill::SpillCodec;
+    pub use pper_vfs::{
+        std_vfs, FaultKind, FaultVfs, IoFault, IoFaultPlan, IoFaultRule, IoOp, RetryPolicy, Vfs,
+    };
 }
 
 pub use prelude::*;

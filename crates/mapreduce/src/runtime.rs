@@ -534,6 +534,14 @@ where
 /// partitioner). Outputs are bit-identical to [`run_job`] at any thread
 /// count — only the shuffle's memory working set (and the
 /// `shuffle_spill_*` counters) change.
+///
+/// Storage-fault ladder: transient spill faults were already retried
+/// inside the sorter; a corrupted spill run (CRC mismatch — the poisoned
+/// file is quarantined) or a transient fault that outlived its in-place
+/// budget re-runs the whole map+shuffle here, bounded by the same
+/// `spill.retry.max_attempts`. Re-running is sound because map tasks are
+/// deterministic and spill runs are freshly named per attempt; permanent
+/// faults surface typed immediately.
 pub fn run_job_spilling<M, R>(
     cfg: &JobConfig,
     mapper: &M,
@@ -547,15 +555,31 @@ where
     M::Value: crate::spill::SpillCodec,
     R: PartitionReducer<Key = M::Key, Value = M::Value>,
 {
-    execute(
-        cfg,
-        mapper,
-        reducer,
-        &HashPartitioner,
-        None::<&IdentityCombiner<M::Key, M::Value>>,
-        inputs,
-        |per, threads| shuffle_partitions_spilling(per, threads, spill),
-    )
+    let attempts = spill.retry.max_attempts.max(1);
+    let mut reruns = 0u32;
+    loop {
+        let result = execute(
+            cfg,
+            mapper,
+            reducer,
+            &HashPartitioner,
+            None::<&IdentityCombiner<M::Key, M::Value>>,
+            inputs,
+            |per, threads| shuffle_partitions_spilling(per, threads, spill),
+        );
+        match result {
+            Err(MrError::Io(fault)) if !fault.is_permanent() && reruns + 1 < attempts => {
+                reruns += 1;
+            }
+            Ok(mut job) => {
+                if reruns > 0 {
+                    job.counters.add("shuffle_spill_reruns", reruns as u64);
+                }
+                return Ok(job);
+            }
+            other => return other,
+        }
+    }
 }
 
 /// Run a job with a map-side [`Combiner`] and the default hash partitioner.
@@ -876,6 +900,19 @@ where
         counters.add("shuffle_spill_runs", spill_stats.spill_runs as u64);
         counters.add("shuffle_spill_bytes", spill_stats.spill_bytes);
     }
+    if spill_stats.spill_io_retries > 0 {
+        counters.add("shuffle_spill_io_retries", spill_stats.spill_io_retries);
+        counters.add(
+            "shuffle_spill_backoff_units",
+            spill_stats.spill_backoff_units,
+        );
+    }
+    if spill_stats.degraded_partitions > 0 {
+        counters.add(
+            "shuffle_spill_degraded_partitions",
+            spill_stats.degraded_partitions as u64,
+        );
+    }
     let wall_shuffle = started.elapsed().saturating_sub(wall_map);
 
     // ---- Reduce phase ----------------------------------------------------
@@ -987,7 +1024,7 @@ mod tests {
         let spill = ShuffleSpillConfig {
             max_partition_records: 3,
             run_capacity: 4,
-            dir: None,
+            ..ShuffleSpillConfig::new(3)
         };
         let spilled = run_job_spilling(&job(2), &KeyMod, &reducer, &spill, &inputs).unwrap();
         assert_eq!(spilled.outputs, baseline.outputs);

@@ -39,12 +39,14 @@
 use std::hash::Hash;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
 use parking_lot::Mutex;
+use pper_vfs::{RetryPolicy, Vfs};
 
 use crate::error::MrError;
-use crate::extsort::ExternalSorter;
+use crate::extsort::{ExternalSorter, SpillFullPolicy};
 use crate::fxhash::FxHashMap;
 use crate::spill::SpillCodec;
 
@@ -287,6 +289,17 @@ pub struct ShuffleSpillConfig {
     pub run_capacity: usize,
     /// Directory for run files; `None` = the system temp directory.
     pub dir: Option<PathBuf>,
+    /// Filesystem the spill path writes through (chaos suites inject a
+    /// `FaultVfs` here; production keeps the passthrough default).
+    pub vfs: Arc<dyn Vfs>,
+    /// Bounded deterministic retry budget for transient spill faults. Also
+    /// bounds how often a corrupted spill run may trigger a map/shuffle
+    /// re-run (see [`crate::runtime::run_job_spilling`]).
+    pub retry: RetryPolicy,
+    /// What a sorter does when spilling becomes impossible (disk full,
+    /// retries exhausted): surface the typed fault, or degrade that
+    /// partition to in-memory grouping.
+    pub on_full: SpillFullPolicy,
 }
 
 impl ShuffleSpillConfig {
@@ -298,12 +311,33 @@ impl ShuffleSpillConfig {
             max_partition_records,
             run_capacity: (max_partition_records / 4).max(1),
             dir: None,
+            vfs: pper_vfs::std_vfs(),
+            retry: RetryPolicy::default(),
+            on_full: SpillFullPolicy::default(),
         }
     }
 
     /// Override the spill directory.
     pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.dir = Some(dir.into());
+        self
+    }
+
+    /// Route spill I/O through `vfs`.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
+    }
+
+    /// Override the transient-fault retry budget.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Override the disk-exhaustion policy.
+    pub fn with_full_policy(mut self, policy: SpillFullPolicy) -> Self {
+        self.on_full = policy;
         self
     }
 }
@@ -317,6 +351,13 @@ pub struct ShuffleSpillStats {
     pub spill_runs: usize,
     /// Bytes written to run files across all spilled partitions.
     pub spill_bytes: u64,
+    /// Transient spill faults retried in place (deterministic backoff).
+    pub spill_io_retries: u64,
+    /// Virtual backoff units charged by those retries.
+    pub spill_backoff_units: u64,
+    /// Partitions that fell back to in-memory grouping after a permanent
+    /// spill fault (only under [`SpillFullPolicy::InMemory`]).
+    pub degraded_partitions: usize,
 }
 
 impl ShuffleSpillStats {
@@ -324,6 +365,9 @@ impl ShuffleSpillStats {
         self.spilled_partitions += other.spilled_partitions;
         self.spill_runs += other.spill_runs;
         self.spill_bytes += other.spill_bytes;
+        self.spill_io_retries += other.spill_io_retries;
+        self.spill_backoff_units += other.spill_backoff_units;
+        self.degraded_partitions += other.degraded_partitions;
     }
 }
 
@@ -395,7 +439,10 @@ impl<K: Ord + Hash + Eq, V> GroupedPartition<K, V> {
             "partition exceeds u32 record capacity"
         );
 
-        let mut sorter: ExternalSorter<Tagged<K, V>> = ExternalSorter::new(cfg.run_capacity);
+        let mut sorter: ExternalSorter<Tagged<K, V>> = ExternalSorter::new(cfg.run_capacity)
+            .with_vfs(Arc::clone(&cfg.vfs))
+            .with_retry(cfg.retry)
+            .with_full_policy(cfg.on_full);
         if let Some(dir) = &cfg.dir {
             sorter = sorter.with_dir(dir.clone());
         }
@@ -414,6 +461,9 @@ impl<K: Ord + Hash + Eq, V> GroupedPartition<K, V> {
             spilled_partitions: 1,
             spill_runs: sorter.spilled_runs(),
             spill_bytes: sorter.spilled_bytes(),
+            spill_io_retries: sorter.io_retries(),
+            spill_backoff_units: sorter.backoff_units(),
+            degraded_partitions: usize::from(sorter.degraded()),
         };
 
         // Boundary-scan assembly straight off the merged stream: each
@@ -605,7 +655,7 @@ mod tests {
         let cfg = ShuffleSpillConfig {
             max_partition_records: 50,
             run_capacity: 7,
-            dir: None,
+            ..ShuffleSpillConfig::new(50)
         };
         let reference = shuffle_partitions(mk(), 1);
         for threads in [1usize, 2, 8] {
@@ -636,7 +686,7 @@ mod tests {
             let cfg = ShuffleSpillConfig {
                 max_partition_records: 0, // force the spill path always
                 run_capacity,
-                dir: None,
+                ..ShuffleSpillConfig::new(1)
             };
             let (spilled, _) =
                 GroupedPartition::from_buckets_spilling(buckets.clone(), &cfg).unwrap();

@@ -1,23 +1,32 @@
-//! Minimal read-only `mmap(2)` wrapper.
+//! Minimal read-only `mmap(2)` wrapper (moved here from `pper-store` so
+//! every out-of-core consumer shares one mapping type behind the VFS seam).
 //!
 //! The workspace builds fully offline with no external crates, so there is
 //! no `libc`/`memmap2` to lean on; the two syscalls the store needs are
 //! declared directly against the C library that `std` already links on
 //! Linux. The wrapper owns the mapping (`munmap` on drop) and exposes it
-//! only as an immutable byte slice, so all unsafety is contained here.
+//! only as an immutable byte slice, so all unsafety is contained here. On
+//! non-Linux targets [`Mmap`] is an inert stub that is never constructed —
+//! [`crate::Vfs::mmap`] reports `Ok(None)` there and callers fall back to
+//! heap reads.
 
-#![cfg(target_os = "linux")]
-
+#[cfg(target_os = "linux")]
 use std::fs::File;
+#[cfg(target_os = "linux")]
 use std::os::fd::AsRawFd;
 
+#[cfg(target_os = "linux")]
 use core::ffi::c_void;
 
 // Stable constants from the Linux userspace ABI (asm-generic/mman-common.h).
+#[cfg(target_os = "linux")]
 const PROT_READ: i32 = 1;
+#[cfg(target_os = "linux")]
 const MAP_PRIVATE: i32 = 2;
+#[cfg(target_os = "linux")]
 const MAP_FAILED: isize = -1;
 
+#[cfg(target_os = "linux")]
 extern "C" {
     fn mmap(
         addr: *mut c_void,
@@ -37,6 +46,7 @@ extern "C" {
 /// it from concurrent writers of the file (writes made after the map may or
 /// may not be visible, but the store format is write-once-then-read), and
 /// the pointer is never handed out mutably.
+#[cfg(target_os = "linux")]
 pub struct Mmap {
     ptr: *mut c_void,
     len: usize,
@@ -44,9 +54,12 @@ pub struct Mmap {
 
 // SAFETY: see the argument on the type — the mapping is immutable and
 // owned, so sharing references across threads cannot race.
+#[cfg(target_os = "linux")]
 unsafe impl Send for Mmap {}
+#[cfg(target_os = "linux")]
 unsafe impl Sync for Mmap {}
 
+#[cfg(target_os = "linux")]
 impl Mmap {
     /// Map the whole of `file` read-only. Empty files produce an empty
     /// (unmapped) view, since `mmap` rejects zero-length mappings.
@@ -109,6 +122,7 @@ impl Mmap {
     }
 }
 
+#[cfg(target_os = "linux")]
 impl Drop for Mmap {
     fn drop(&mut self) {
         if self.len > 0 {
@@ -121,6 +135,32 @@ impl Drop for Mmap {
     }
 }
 
+/// Inert stand-in on platforms without the raw `mmap` binding: carries no
+/// mapping and is never constructed ([`crate::Vfs::mmap`] returns
+/// `Ok(None)` off-Linux), but keeps `Backend::Mmap` compiling everywhere.
+#[cfg(not(target_os = "linux"))]
+pub struct Mmap {
+    never: std::convert::Infallible,
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Mmap {
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        match self.never {}
+    }
+
+    /// True for an empty (zero-length) mapping.
+    pub fn is_empty(&self) -> bool {
+        match self.never {}
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self.never {}
+    }
+}
+
 impl std::ops::Deref for Mmap {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
@@ -130,11 +170,11 @@ impl std::ops::Deref for Mmap {
 
 impl std::fmt::Debug for Mmap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Mmap").field("len", &self.len).finish()
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, target_os = "linux"))]
 mod tests {
     use super::*;
     use std::io::Write;
