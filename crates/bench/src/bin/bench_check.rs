@@ -9,6 +9,10 @@
 //!     --reports kernels,shuffle --min-ratio 0.25
 //! ```
 //!
+//! `--require report:num>=FACTOR*den` (comma-separable) additionally pins
+//! intra-report throughput ratios on the fresh run, e.g.
+//! `--require exec:skewed/stealing@8>=0.90*skewed/cursor@8`.
+//!
 //! Exits non-zero when any gated record's fresh throughput falls below
 //! `min_ratio ×` its committed baseline, or when an expected report file is
 //! missing on either side. See `pper_bench::check` for the comparison
@@ -17,13 +21,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pper_bench::check::run_check;
+use pper_bench::check::{run_check_with_requirements, RequireRule};
 
 fn main() -> ExitCode {
     let mut baseline_dir = PathBuf::from("results");
     let mut fresh_dir = PathBuf::from("target/experiments");
     let mut min_ratio = 0.25f64;
     let mut reports = String::from("kernels,shuffle");
+    let mut requires: Vec<RequireRule> = Vec::new();
 
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -45,6 +50,12 @@ fn main() -> ExitCode {
                 i += 1;
                 reports = args[i].clone();
             }
+            "--require" => {
+                i += 1;
+                for rule in args[i].split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    requires.push(RequireRule::parse(rule).expect("--require rule"));
+                }
+            }
             other => panic!("unknown argument: {other}"),
         }
         i += 1;
@@ -55,7 +66,8 @@ fn main() -> ExitCode {
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .collect();
-    let summary = run_check(&baseline_dir, &fresh_dir, &names, min_ratio);
+    let summary =
+        run_check_with_requirements(&baseline_dir, &fresh_dir, &names, min_ratio, &requires);
     println!(
         "perf gate: {} vs {} (floor {min_ratio}x) over {}",
         fresh_dir.display(),

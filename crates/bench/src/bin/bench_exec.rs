@@ -1,0 +1,191 @@
+//! Executor-backend benchmark: wall-clock scaling of the three task-dispatch
+//! backends (`cursor`, `chunked:K`, `stealing`) across thread counts and
+//! workload shapes. Emits `BENCH_exec.json` so `bench_check` can gate
+//! scaling regressions in CI.
+//!
+//! Workloads:
+//!
+//! * `uniform` — equal-cost tasks; measures raw dispatch overhead and
+//!   scaling. No backend should lose here.
+//! * `skewed`  — one task dominates (Zipf-ish tail); the shape where
+//!   work-stealing rebalances what static chunking cannot.
+//! * `tiny`    — thousands of near-empty tasks; the shape where the
+//!   historical one-`fetch_add`-per-task cursor (`chunked:1`) pays one
+//!   contended RMW per task and the adaptive chunked claim (`cursor`)
+//!   amortizes it away.
+//! * `spill`   — an end-to-end spilling MapReduce job driven through
+//!   `JobConfig::executor`, so the gate also covers the real runtime path.
+//!
+//! ```sh
+//! cargo run --release -p pper-bench --bin bench_exec -- --quick
+//! ```
+
+use std::time::Instant;
+
+use pper_bench::{BenchRecord, BenchReport, ExpOptions};
+use pper_mapreduce::prelude::*;
+
+const BACKENDS: &[ExecutorKind] = &[
+    ExecutorKind::Cursor,
+    ExecutorKind::Chunked(1),
+    ExecutorKind::Chunked(16),
+    ExecutorKind::WorkStealing,
+];
+
+const THREADS: &[usize] = &[1, 2, 8];
+
+/// Deterministic integer-mix busy loop (SplitMix64 finalizer); the result
+/// feeds `black_box` so the whole loop survives the optimizer.
+fn busy(iters: u64) -> u64 {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for i in 0..iters {
+        x = x.wrapping_add(i).wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+    }
+    x
+}
+
+/// Time `kind` dispatching `costs.len()` tasks whose per-task busy work is
+/// given by `costs`, at `threads` workers.
+fn time_dispatch(kind: ExecutorKind, threads: usize, costs: &[u64]) -> std::time::Duration {
+    // One warmup keeps thread spawn-up jitter out of the timed run.
+    kind.run(costs.len(), threads, &|i| {
+        std::hint::black_box(busy(costs[i]));
+    });
+    let start = Instant::now();
+    kind.run(costs.len(), threads, &|i| {
+        std::hint::black_box(busy(costs[i]));
+    });
+    start.elapsed()
+}
+
+/// Wordcount-shaped spilling job over a skewed corpus, dispatched through
+/// `JobConfig::executor` — the full runtime path (map, spilling shuffle,
+/// reduce), not just the raw dispatch loop.
+struct WordMapper;
+impl Mapper for WordMapper {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    fn map(&self, line: &String, ctx: &mut TaskContext, out: &mut Emitter<String, u64>) {
+        for w in line.split_whitespace() {
+            ctx.charge(1.0);
+            out.emit(w.to_string(), 1);
+        }
+    }
+}
+
+struct Sum;
+impl Reducer for Sum {
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+    fn reduce(
+        &self,
+        key: &String,
+        values: &[u64],
+        ctx: &mut TaskContext,
+        out: &mut Vec<(String, u64)>,
+    ) {
+        ctx.charge(values.len() as f64);
+        out.push((key.clone(), values.iter().sum()));
+    }
+}
+
+fn time_spill_job(kind: ExecutorKind, threads: usize, corpus: &[String]) -> std::time::Duration {
+    let mut cfg = JobConfig::new("bench-exec-spill", ClusterSpec::paper(4));
+    cfg.worker_threads = Some(threads);
+    cfg.executor = kind;
+    let spill = ShuffleSpillConfig::new(200);
+    let run = || {
+        run_job_spilling(&cfg, &WordMapper, &GroupReducer::new(Sum), &spill, corpus)
+            .expect("spill job");
+    };
+    run(); // warmup
+    let start = Instant::now();
+    run();
+    start.elapsed()
+}
+
+/// ops_per_sec of the named record, for note-building.
+fn ops(report: &BenchReport, name: &str) -> f64 {
+    report
+        .records
+        .iter()
+        .find(|r| r.name == name)
+        .map(|r| r.ops_per_sec)
+        .unwrap_or(0.0)
+}
+
+fn main() -> std::io::Result<()> {
+    let opts = ExpOptions::from_args(0);
+    let scale: u64 = if opts.quick { 1 } else { 8 };
+
+    // uniform: 256 equal tasks. skewed: 64 tasks, task 0 carries half the
+    // total work. tiny: 4096 near-empty tasks.
+    let uniform: Vec<u64> = vec![20_000 * scale; 256];
+    let skewed: Vec<u64> = (0..64u64)
+        .map(|i| {
+            if i == 0 {
+                640_000 * scale
+            } else {
+                10_000 * scale
+            }
+        })
+        .collect();
+    let tiny: Vec<u64> = vec![16; 4096];
+    let corpus: Vec<String> = (0..400 * scale)
+        .map(|i| format!("the of w{} the w{} tail{i}", i % 7, i % 63))
+        .collect();
+
+    let mut report = BenchReport::new(
+        "exec",
+        format!(
+            "executor backends × threads {THREADS:?} × workloads \
+             (uniform 256 tasks, skewed 64 tasks, tiny 4096 tasks, \
+             spilling wordcount {} lines); ops = tasks (lines for spill)",
+            corpus.len()
+        ),
+    );
+
+    for (workload, costs) in [("uniform", &uniform), ("skewed", &skewed), ("tiny", &tiny)] {
+        for &kind in BACKENDS {
+            for &threads in THREADS {
+                let elapsed = time_dispatch(kind, threads, costs);
+                let name = format!("{workload}/{}@{threads}", kind.name());
+                eprintln!("{name}: {elapsed:?}");
+                report.push(BenchRecord::from_total(name, costs.len() as u64, elapsed));
+            }
+        }
+    }
+    for &kind in BACKENDS {
+        for &threads in THREADS {
+            let elapsed = time_spill_job(kind, threads, &corpus);
+            let name = format!("spill/{}@{threads}", kind.name());
+            eprintln!("{name}: {elapsed:?}");
+            report.push(BenchRecord::from_total(name, corpus.len() as u64, elapsed));
+        }
+    }
+
+    for workload in ["uniform", "skewed", "tiny", "spill"] {
+        let cursor = ops(&report, &format!("{workload}/cursor@8"));
+        let stealing = ops(&report, &format!("{workload}/stealing@8"));
+        let chunked1 = ops(&report, &format!("{workload}/chunked:1@8"));
+        if cursor > 0.0 {
+            report.note(format!(
+                "{workload}@8: stealing/cursor = {:.2}x, chunked:1/cursor = {:.2}x",
+                stealing / cursor,
+                chunked1 / cursor
+            ));
+        }
+    }
+    let s1 = ops(&report, "skewed/stealing@1");
+    let s8 = ops(&report, "skewed/stealing@8");
+    if s1 > 0.0 {
+        report.note(format!("skewed stealing 8-thread scaling: {:.2}x", s8 / s1));
+    }
+
+    print!("{}", report.render_text());
+    report.emit(&opts.out_dir)?;
+    Ok(())
+}

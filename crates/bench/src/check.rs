@@ -120,6 +120,101 @@ pub fn check_report(
     }
 }
 
+/// One intra-report requirement: record `numerator` of report `report`
+/// must reach at least `factor ×` the throughput of record `denominator`
+/// *in the same fresh run*. Unlike the baseline comparison (which catches
+/// drift against a committed snapshot), a requirement pins a relationship
+/// that must hold on any machine — e.g. "work-stealing on the skewed
+/// workload is at least 0.9× the cursor backend".
+///
+/// Parsed from `report:numerator>=FACTOR*denominator`, e.g.
+/// `exec:skewed/stealing@8>=0.90*skewed/cursor@8`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequireRule {
+    /// Report name (`BENCH_<report>.json`).
+    pub report: String,
+    /// Record whose throughput is being gated.
+    pub numerator: String,
+    /// Minimum allowed `numerator / denominator` throughput ratio.
+    pub factor: f64,
+    /// Record the numerator is compared against.
+    pub denominator: String,
+}
+
+impl RequireRule {
+    /// Parse `report:numerator>=FACTOR*denominator`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let bad = |why: &str| format!("bad --require rule '{s}': {why}");
+        let (report, rest) = s
+            .split_once(':')
+            .ok_or_else(|| bad("expected 'report:numerator>=FACTOR*denominator'"))?;
+        let (numerator, rhs) = rest.split_once(">=").ok_or_else(|| bad("missing '>='"))?;
+        let (factor, denominator) = rhs.split_once('*').ok_or_else(|| bad("missing '*'"))?;
+        let factor: f64 = factor
+            .trim()
+            .parse()
+            .map_err(|_| bad("factor is not a number"))?;
+        if report.trim().is_empty() || numerator.trim().is_empty() || denominator.trim().is_empty()
+        {
+            return Err(bad("empty report or record name"));
+        }
+        Ok(Self {
+            report: report.trim().to_string(),
+            numerator: numerator.trim().to_string(),
+            factor,
+            denominator: denominator.trim().to_string(),
+        })
+    }
+}
+
+/// Check every requirement that targets `fresh` (by report name),
+/// appending to `summary`. A record named by a rule but absent from the
+/// report is a failure — a renamed record must not disarm the gate.
+pub fn check_requirements(fresh: &BenchReport, rules: &[RequireRule], summary: &mut CheckSummary) {
+    let ops = |name: &str| {
+        fresh
+            .records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.ops_per_sec)
+    };
+    for rule in rules.iter().filter(|r| r.report == fresh.name) {
+        let (num, den) = match (ops(&rule.numerator), ops(&rule.denominator)) {
+            (Some(n), Some(d)) => (n, d),
+            (n, _) => {
+                let missing = if n.is_none() {
+                    &rule.numerator
+                } else {
+                    &rule.denominator
+                };
+                summary.failures.push(format!(
+                    "{}: require rule references record \"{missing}\" missing from the fresh run",
+                    fresh.name
+                ));
+                continue;
+            }
+        };
+        let ratio = if den > 0.0 { num / den } else { f64::INFINITY };
+        let ok = ratio >= rule.factor;
+        if !ok {
+            summary.failures.push(format!(
+                "{}: \"{}\" is {:.2}x of \"{}\" ({:.0} vs {:.0} ops/sec), below the required {}x",
+                fresh.name, rule.numerator, ratio, rule.denominator, num, den, rule.factor
+            ));
+        }
+        summary.records.push(RecordCheck {
+            name: format!(
+                "{}: {} >= {}*{}",
+                fresh.name, rule.numerator, rule.factor, rule.denominator
+            ),
+            baseline_ops: den * rule.factor,
+            fresh_ops: num,
+            ratio,
+            ok,
+        });
+    }
+}
+
 /// Load a `BENCH_<name>.json` report from `dir`.
 pub fn load_report(dir: &Path, name: &str) -> Result<BenchReport, String> {
     let path = dir.join(format!("BENCH_{name}.json"));
@@ -137,15 +232,39 @@ pub fn run_check(
     reports: &[&str],
     min_ratio: f64,
 ) -> CheckSummary {
+    run_check_with_requirements(baseline_dir, fresh_dir, reports, min_ratio, &[])
+}
+
+/// [`run_check`] plus intra-report [`RequireRule`]s evaluated against each
+/// fresh report. A rule naming a report outside `reports` is a failure —
+/// the gate must never silently pass because a run was skipped.
+pub fn run_check_with_requirements(
+    baseline_dir: &Path,
+    fresh_dir: &Path,
+    reports: &[&str],
+    min_ratio: f64,
+    requires: &[RequireRule],
+) -> CheckSummary {
     let mut summary = CheckSummary::default();
     for name in reports {
         match (
             load_report(baseline_dir, name),
             load_report(fresh_dir, name),
         ) {
-            (Ok(base), Ok(fresh)) => check_report(&base, &fresh, min_ratio, &mut summary),
+            (Ok(base), Ok(fresh)) => {
+                check_report(&base, &fresh, min_ratio, &mut summary);
+                check_requirements(&fresh, requires, &mut summary);
+            }
             (Err(e), _) => summary.failures.push(format!("baseline {name}: {e}")),
             (_, Err(e)) => summary.failures.push(format!("fresh {name}: {e}")),
+        }
+    }
+    for rule in requires {
+        if !reports.contains(&rule.report.as_str()) {
+            summary.failures.push(format!(
+                "require rule targets report \"{}\" which is not in --reports",
+                rule.report
+            ));
         }
     }
     summary
@@ -213,6 +332,58 @@ mod tests {
     }
 
     #[test]
+    fn require_rule_parses_and_rejects() {
+        let r = RequireRule::parse("exec:skewed/stealing@8>=0.90*skewed/cursor@8").unwrap();
+        assert_eq!(r.report, "exec");
+        assert_eq!(r.numerator, "skewed/stealing@8");
+        assert_eq!(r.factor, 0.90);
+        assert_eq!(r.denominator, "skewed/cursor@8");
+        for bad in [
+            "no-colon>=1*x",
+            "exec:no-operator",
+            "exec:a>=notanumber*b",
+            "exec:a>=1.0",
+            ":a>=1*b",
+            "exec:>=1*b",
+            "exec:a>=1*",
+        ] {
+            assert!(RequireRule::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn requirements_gate_intra_report_ratios() {
+        let fresh = report(
+            "exec",
+            &[("skewed/stealing@8", 95.0), ("skewed/cursor@8", 100.0)],
+        );
+        let pass = RequireRule::parse("exec:skewed/stealing@8>=0.90*skewed/cursor@8").unwrap();
+        let mut s = CheckSummary::default();
+        check_requirements(&fresh, std::slice::from_ref(&pass), &mut s);
+        assert!(s.passed(), "{:?}", s.failures);
+        assert_eq!(s.records.len(), 1);
+
+        let fail = RequireRule::parse("exec:skewed/stealing@8>=1.20*skewed/cursor@8").unwrap();
+        let mut s = CheckSummary::default();
+        check_requirements(&fresh, &[fail], &mut s);
+        assert!(!s.passed());
+        assert!(s.failures[0].contains("below the required"));
+
+        // Rules for other reports are ignored here…
+        let other = RequireRule::parse("kernels:a>=1.0*b").unwrap();
+        let mut s = CheckSummary::default();
+        check_requirements(&fresh, &[other], &mut s);
+        assert!(s.passed());
+
+        // …and a missing record must fail, not pass silently.
+        let missing = RequireRule::parse("exec:skewed/stealing@8>=0.5*uniform/cursor@8").unwrap();
+        let mut s = CheckSummary::default();
+        check_requirements(&fresh, &[missing], &mut s);
+        assert!(!s.passed());
+        assert!(s.failures[0].contains("missing"));
+    }
+
+    #[test]
     fn end_to_end_over_files() {
         let dir = std::env::temp_dir().join(format!("pper-bench-check-{}", std::process::id()));
         let baseline_dir = dir.join("baseline");
@@ -228,6 +399,13 @@ mod tests {
             .unwrap();
         let s = run_check(&baseline_dir, &fresh_dir, &["kernels"], 0.25);
         assert!(s.passed(), "{:?}", s.failures);
+
+        // A require rule naming a report outside --reports must fail.
+        let stray = RequireRule::parse("exec:a>=1.0*b").unwrap();
+        let s =
+            run_check_with_requirements(&baseline_dir, &fresh_dir, &["kernels"], 0.25, &[stray]);
+        assert!(!s.passed());
+        assert!(s.failures[0].contains("not in --reports"));
 
         // Injected regression must fail the gate.
         report("kernels", &[("pairs", 10.0)])

@@ -6,7 +6,8 @@
 //! |             | unless the use is provably order-insensitive                     |
 //! | `wall_clock`| D2: no `Instant::now`/`SystemTime::now`/`thread_rng` outside the |
 //! |             | approved wall-clock modules (`cost.rs`, `bench`, `datagen`)      |
-//! | `relaxed`   | D3: every `Ordering::Relaxed` carries a written justification    |
+//! | `relaxed`   | D3: every non-`SeqCst` ordering (`Relaxed`/`Acquire`/`Release`/  |
+//! |             | `AcqRel`) carries a written justification                        |
 //! | `panic_path`| D4: no `unwrap`/`expect`/`panic!` in the runtime hot paths       |
 //! |             | or anywhere in the durability-critical `journal` crate           |
 //! | `direct_fs` | D5: no direct `std::fs` / `File::` / `OpenOptions::` access in   |
@@ -82,7 +83,7 @@ const ORDER_INSENSITIVE_COLLECTS: &[&str] = &[
 
 /// Files whose hot paths must route errors through `MrError` (rule D4),
 /// relative suffixes under the mapreduce crate.
-const D4_FILES: &[&str] = &["runtime.rs", "shuffle.rs", "driver.rs"];
+const D4_FILES: &[&str] = &["runtime.rs", "shuffle.rs", "driver.rs", "exec.rs"];
 
 /// Crates whose production code must route file I/O through the
 /// fault-injectable `pper_vfs::Vfs` seam (rule D5): the out-of-core
@@ -706,24 +707,34 @@ fn rule_wall_clock(path: &str, tokens: &[Token], mask: &[bool], diags: &mut Vec<
 // ---------------------------------------------------------------------------
 // D3: relaxed
 
+/// Non-`SeqCst` orderings D3 flags: each use must argue why the weaker
+/// ordering is still correct (`Relaxed`: why no ordering at all is needed;
+/// `Acquire`/`Release`/`AcqRel`: which store/load pair it synchronizes with).
+const D3_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel"];
+
 fn rule_relaxed(path: &str, tokens: &[Token], mask: &[bool], diags: &mut Vec<Diagnostic>) {
     for i in 0..tokens.len() {
         if mask[i] {
             continue;
         }
-        if is_ident(&tokens[i], "Ordering")
-            && is_path_sep(tokens, i + 1)
-            && tokens.get(i + 3).is_some_and(|n| is_ident(n, "Relaxed"))
-        {
-            push(
-                diags,
-                path,
-                tokens[i + 3].line,
-                "relaxed",
-                "`Ordering::Relaxed` on a cross-task atomic needs a written safety \
-                 argument: add `// lint:allow(relaxed) <why no ordering is required>`"
-                    .to_string(),
-            );
+        if is_ident(&tokens[i], "Ordering") && is_path_sep(tokens, i + 1) {
+            let Some(variant) = tokens.get(i + 3) else {
+                continue;
+            };
+            for ord in D3_ORDERINGS {
+                if is_ident(variant, ord) {
+                    push(
+                        diags,
+                        path,
+                        variant.line,
+                        "relaxed",
+                        format!(
+                            "`Ordering::{ord}` on a cross-task atomic needs a written safety \
+                             argument: add `// lint:allow(relaxed) <why this ordering suffices>`"
+                        ),
+                    );
+                }
+            }
         }
     }
 }
@@ -916,6 +927,27 @@ mod tests {
     }
 
     #[test]
+    fn relaxed_covers_acquire_release_acqrel() {
+        for ord in ["Acquire", "Release", "AcqRel"] {
+            let src = format!("fn f(c: &AtomicU64) {{ c.load(Ordering::{ord}); }}");
+            assert_eq!(
+                rules_of("crates/mapreduce/src/exec.rs", &src),
+                vec!["relaxed"],
+                "Ordering::{ord} must need a justification"
+            );
+            let ok = format!(
+                "fn f(c: &AtomicU64) {{\n\
+                 // lint:allow(relaxed) pairs with the release store in take()\n\
+                 c.load(Ordering::{ord}); }}"
+            );
+            assert!(rules_of("crates/mapreduce/src/exec.rs", &ok).is_empty());
+        }
+        // SeqCst is the default-safe ordering and stays unflagged.
+        let src = "fn f(c: &AtomicU64) { c.load(Ordering::SeqCst); }";
+        assert!(rules_of("crates/mapreduce/src/exec.rs", src).is_empty());
+    }
+
+    #[test]
     fn panic_path_only_in_hot_files() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
         assert_eq!(
@@ -926,6 +958,13 @@ mod tests {
         let src = "fn f() { panic!(\"boom\"); }";
         assert_eq!(
             rules_of("crates/mapreduce/src/shuffle.rs", src),
+            vec!["panic_path"]
+        );
+        // The executor backends dispatch every simulated task, so they are
+        // hot-path too.
+        let src = "fn f(x: Option<u32>) -> u32 { x.expect(\"claimed\") }";
+        assert_eq!(
+            rules_of("crates/mapreduce/src/exec.rs", src),
             vec!["panic_path"]
         );
     }

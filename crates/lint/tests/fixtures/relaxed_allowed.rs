@@ -1,6 +1,6 @@
 //@ path: crates/mapreduce/src/fixture.rs
-//! D3 `relaxed` negatives: a justified `Ordering::Relaxed` passes, and
-//! stronger orderings were never in scope.
+//! D3 `relaxed` negatives: a justified non-`SeqCst` ordering passes, and
+//! `SeqCst` itself was never in scope.
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -12,4 +12,14 @@ fn tick() -> usize {
 
 fn read() -> usize {
     COUNTER.load(Ordering::SeqCst)
+}
+
+fn publish(flag: &AtomicUsize) {
+    // lint:allow(relaxed) fixture: pairs with the Acquire load below.
+    flag.store(1, Ordering::Release);
+}
+
+fn consume(flag: &AtomicUsize) -> usize {
+    // lint:allow(relaxed) fixture: pairs with the Release store above.
+    flag.load(Ordering::Acquire)
 }

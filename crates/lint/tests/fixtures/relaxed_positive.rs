@@ -1,6 +1,7 @@
 //@ path: crates/mapreduce/src/fixture.rs
-//! D3 `relaxed` positives: every `Ordering::Relaxed` without a written
-//! safety argument is reported, wherever it appears.
+//! D3 `relaxed` positives: every non-`SeqCst` ordering (`Relaxed`,
+//! `Acquire`, `Release`, `AcqRel`) without a written safety argument is
+//! reported, wherever it appears.
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -11,4 +12,9 @@ fn tick() -> usize {
 
 fn read() -> usize {
     COUNTER.load(Ordering::Relaxed)
+}
+
+fn handoff(flag: &AtomicUsize) -> usize {
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Acquire)
 }

@@ -1,8 +1,9 @@
 //! The job executor: splits input, runs map tasks, shuffles, runs reduce
 //! tasks, and assembles virtual-time reports.
 //!
-//! Simulated tasks are executed on a pool of OS threads (one work queue per
-//! phase, tasks pulled with an atomic cursor), so wall-clock parallelism is
+//! Simulated tasks are executed on a pool of OS threads through the job's
+//! pluggable [`crate::exec::Executor`] backend (shared-cursor chunked claim
+//! by default, work stealing on request), so wall-clock parallelism is
 //! real; but the *reported* phase durations come from the per-task virtual
 //! clocks combined with list scheduling over the simulated cluster's slots
 //! ([`crate::cost::virtual_makespan`]). This separation lets a laptop
@@ -25,7 +26,6 @@
 
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use crate::cost::{list_schedule_starts, virtual_makespan};
 use crate::counters::Counters;
 use crate::error::MrError;
+use crate::exec::ExecutorKind;
 use crate::faults::InjectedAbort;
 use crate::job::{
     Combiner, Emitter, JobConfig, Mapper, PartitionReducer, TaskContext, TaskId, TaskKind,
@@ -42,7 +43,7 @@ use crate::observe::{AttemptRecord, TaskEvent};
 use crate::partition::{HashPartitioner, Partitioner};
 use crate::progress::ProgressEvent;
 use crate::shuffle::{
-    shuffle_partitions, shuffle_partitions_spilling, GroupedPartition, PartitionBuckets,
+    shuffle_partitions_spilling_with, shuffle_partitions_with, GroupedPartition, PartitionBuckets,
     ShuffleSpillConfig, ShuffleSpillStats,
 };
 
@@ -331,9 +332,12 @@ fn run_one_task<T>(
 }
 
 /// Run `count` simulated tasks (index-addressed) on up to `threads` OS
-/// threads, collecting per-task [`TaskRun`]s in index order. Each task
-/// internally retries per the job's fault plan ([`run_one_task`]); the
-/// first task-level error aborts the job.
+/// threads, collecting per-task [`TaskRun`]s in index order. Dispatch goes
+/// through the job's configured [`crate::exec::Executor`] backend; every
+/// backend runs each index exactly once and barriers before returning, so
+/// the index-order collection below (and therefore every observable) is
+/// identical across backends. Each task internally retries per the job's
+/// fault plan ([`run_one_task`]); the first task-level error aborts the job.
 fn run_tasks<T: Send>(
     cfg: &JobConfig,
     count: usize,
@@ -343,24 +347,9 @@ fn run_tasks<T: Send>(
 ) -> Result<Vec<TaskRun<T>>, MrError> {
     // Per-index result slot a worker publishes into (None until its task ran).
     type TaskSlot<T> = Mutex<Option<Result<TaskRun<T>, TaskFailure>>>;
-    let threads = threads.max(1).min(count.max(1));
     let results: Vec<TaskSlot<T>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // lint:allow(relaxed) pure ticket dispenser: fetch_add's RMW
-                // atomicity alone guarantees each index is handed out exactly
-                // once (model-checked in tests/loom_cursor.rs); results are
-                // published via the per-index mutexes, not this counter.
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= count {
-                    return;
-                }
-                *results[idx].lock() = Some(run_one_task(cfg, kind, idx, &f));
-            });
-        }
+    cfg.executor.run(count, threads, &|idx| {
+        *results[idx].lock() = Some(run_one_task(cfg, kind, idx, &f));
     });
 
     // Post-barrier, on the driver thread, in task-index order: notify the
@@ -565,7 +554,7 @@ where
             &HashPartitioner,
             None::<&IdentityCombiner<M::Key, M::Value>>,
             inputs,
-            |per, threads| shuffle_partitions_spilling(per, threads, spill),
+            |per, threads| shuffle_partitions_spilling_with(cfg.executor, per, threads, spill),
         );
         match result {
             Err(MrError::Io(fault)) if !fault.is_permanent() && reruns + 1 < attempts => {
@@ -602,7 +591,7 @@ where
         &HashPartitioner,
         Some(combiner),
         inputs,
-        in_memory_shuffle,
+        |per, threads| in_memory_shuffle(cfg.executor, per, threads),
     )
 }
 
@@ -628,13 +617,15 @@ where
         partitioner,
         None::<&IdentityCombiner<M::Key, M::Value>>,
         inputs,
-        in_memory_shuffle,
+        |per, threads| in_memory_shuffle(cfg.executor, per, threads),
     )
 }
 
 /// The default grouping strategy for [`execute`]: the fully in-memory
-/// parallel tag sort, never spilling.
+/// parallel tag sort, never spilling, fanned out on the job's configured
+/// executor backend.
 fn in_memory_shuffle<K, V>(
+    executor: ExecutorKind,
     per_partition: Vec<PartitionBuckets<K, V>>,
     threads: usize,
 ) -> Result<(Vec<GroupedPartition<K, V>>, ShuffleSpillStats), MrError>
@@ -643,7 +634,7 @@ where
     V: Send,
 {
     Ok((
-        shuffle_partitions(per_partition, threads),
+        shuffle_partitions_with(executor, per_partition, threads),
         ShuffleSpillStats::default(),
     ))
 }

@@ -38,7 +38,6 @@
 
 use std::hash::Hash;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::{Bytes, BytesMut};
@@ -46,6 +45,7 @@ use parking_lot::Mutex;
 use pper_vfs::{RetryPolicy, Vfs};
 
 use crate::error::MrError;
+use crate::exec::ExecutorKind;
 use crate::extsort::{ExternalSorter, SpillFullPolicy};
 use crate::fxhash::FxHashMap;
 use crate::spill::SpillCodec;
@@ -221,13 +221,29 @@ impl<K: Eq, V> GroupedPartition<K, V> {
     }
 }
 
+/// Sort+group every partition on up to `threads` worker threads with the
+/// default [`ExecutorKind::Cursor`] backend. See [`shuffle_partitions_with`].
+pub fn shuffle_partitions<K, V>(
+    per_partition: Vec<PartitionBuckets<K, V>>,
+    threads: usize,
+) -> Vec<GroupedPartition<K, V>>
+where
+    K: Ord + Hash + Eq + Send,
+    V: Send,
+{
+    shuffle_partitions_with(ExecutorKind::default(), per_partition, threads)
+}
+
 /// Sort+group every partition on up to `threads` worker threads.
 ///
 /// `per_partition[p]` holds partition `p`'s buckets in map-task order.
-/// Partitions are pulled with an atomic cursor exactly like the runtime's
-/// task pool; results land in partition order. Deliberately *no*
-/// [`crate::job::TaskContext`] and no virtual charges — see the module docs.
-pub fn shuffle_partitions<K, V>(
+/// Partitions are dispatched through the given executor backend exactly
+/// like the runtime's task phases; results land in partition order
+/// regardless of the backend (per-index slots, collected post-barrier).
+/// Deliberately *no* [`crate::job::TaskContext`] and no virtual charges —
+/// see the module docs.
+pub fn shuffle_partitions_with<K, V>(
+    executor: ExecutorKind,
     per_partition: Vec<PartitionBuckets<K, V>>,
     threads: usize,
 ) -> Vec<GroupedPartition<K, V>>
@@ -249,25 +265,12 @@ where
         .collect();
     let done: Vec<Mutex<Option<GroupedPartition<K, V>>>> =
         (0..count).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // lint:allow(relaxed) pure ticket dispenser: fetch_add's RMW
-                // atomicity alone guarantees each index is handed out exactly
-                // once (model-checked in tests/loom_cursor.rs); partitions are
-                // published via the per-index mutexes, not this counter.
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= count {
-                    return;
-                }
-                // The cursor hands each index to exactly one worker, so the
-                // slot is always occupied here; `from_buckets` on an empty
-                // bucket list is the benign fallback rather than a panic.
-                if let Some(buckets) = work[idx].lock().take() {
-                    *done[idx].lock() = Some(GroupedPartition::from_buckets(buckets));
-                }
-            });
+    executor.run(count, threads, &|idx| {
+        // The executor hands each index to exactly one worker, so the
+        // slot is always occupied here; `from_buckets` on an empty
+        // bucket list is the benign fallback rather than a panic.
+        if let Some(buckets) = work[idx].lock().take() {
+            *done[idx].lock() = Some(GroupedPartition::from_buckets(buckets));
         }
     });
     done.into_iter()
@@ -492,11 +495,26 @@ impl<K: Ord + Hash + Eq, V> GroupedPartition<K, V> {
     }
 }
 
-/// [`shuffle_partitions`] under a memory budget: per-partition grouping
-/// routes through [`GroupedPartition::from_buckets_spilling`], fanned out
-/// on the worker pool with the same atomic-cursor pattern. Bit-identical
-/// partitions to the in-memory shuffle at any thread count.
+/// [`shuffle_partitions_spilling_with`] on the default
+/// [`ExecutorKind::Cursor`] backend.
 pub fn shuffle_partitions_spilling<K, V>(
+    per_partition: Vec<PartitionBuckets<K, V>>,
+    threads: usize,
+    cfg: &ShuffleSpillConfig,
+) -> Result<(Vec<GroupedPartition<K, V>>, ShuffleSpillStats), MrError>
+where
+    K: Ord + Hash + Eq + Send + SpillCodec,
+    V: Send + SpillCodec,
+{
+    shuffle_partitions_spilling_with(ExecutorKind::default(), per_partition, threads, cfg)
+}
+
+/// [`shuffle_partitions_with`] under a memory budget: per-partition
+/// grouping routes through [`GroupedPartition::from_buckets_spilling`],
+/// fanned out through the given executor backend. Bit-identical partitions
+/// to the in-memory shuffle at any thread count and on any backend.
+pub fn shuffle_partitions_spilling_with<K, V>(
+    executor: ExecutorKind,
     per_partition: Vec<PartitionBuckets<K, V>>,
     threads: usize,
     cfg: &ShuffleSpillConfig,
@@ -523,21 +541,9 @@ where
         .collect();
     type SpillSlot<K, V> = Option<Result<(GroupedPartition<K, V>, ShuffleSpillStats), MrError>>;
     let done: Vec<Mutex<SpillSlot<K, V>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // lint:allow(relaxed) pure ticket dispenser, as in
-                // `shuffle_partitions`: RMW atomicity alone hands each index
-                // to exactly one worker; results are published via mutexes.
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= count {
-                    return;
-                }
-                if let Some(buckets) = work[idx].lock().take() {
-                    *done[idx].lock() = Some(GroupedPartition::from_buckets_spilling(buckets, cfg));
-                }
-            });
+    executor.run(count, threads, &|idx| {
+        if let Some(buckets) = work[idx].lock().take() {
+            *done[idx].lock() = Some(GroupedPartition::from_buckets_spilling(buckets, cfg));
         }
     });
     let mut out = Vec::with_capacity(count);

@@ -1,0 +1,254 @@
+//! Bit-level determinism of whole jobs across executor backends *and*
+//! worker-thread counts.
+//!
+//! The executor seam (`exec::ExecutorKind`) only decides which OS thread
+//! runs which simulated task and in what wall-clock order; every backend
+//! publishes results into caller-owned per-index slots and the driver
+//! collects them in index order after the barrier. So the one property that
+//! makes the backends interchangeable is: nothing observable may depend on
+//! the backend or the thread count. These tests run the same five job
+//! shapes — plain, with a combiner, with whole-key shuffle balancing, under
+//! a fault plan, and with a spilling shuffle — across the full
+//! backend × thread-count matrix and demand byte-identical outputs,
+//! counters, timelines, and virtual costs, plus a property test that steal
+//! order never leaks into observables.
+
+use proptest::prelude::*;
+
+use pper_mapreduce::prelude::*;
+
+/// Every backend the matrix covers: the adaptive-chunk cursor (default),
+/// the historical one-index-per-claim cursor, a fixed mid-size chunk, and
+/// the work-stealing deques.
+const BACKENDS: &[ExecutorKind] = &[
+    ExecutorKind::Cursor,
+    ExecutorKind::Chunked(1),
+    ExecutorKind::Chunked(16),
+    ExecutorKind::WorkStealing,
+];
+
+const THREADS: &[usize] = &[1, 2, 8];
+
+struct WordMapper;
+impl Mapper for WordMapper {
+    type Input = String;
+    type Key = String;
+    type Value = u64;
+    fn map(&self, line: &String, ctx: &mut TaskContext, out: &mut Emitter<String, u64>) {
+        for w in line.split_whitespace() {
+            ctx.charge(1.0);
+            out.emit(w.to_string(), 1);
+        }
+    }
+}
+
+struct SumCombiner;
+impl Combiner for SumCombiner {
+    type Key = String;
+    type Value = u64;
+    fn combine(&self, _key: &String, values: &mut Vec<u64>) {
+        let sum: u64 = values.iter().sum();
+        values.clear();
+        values.push(sum);
+    }
+}
+
+struct Sum;
+impl Reducer for Sum {
+    type Key = String;
+    type Value = u64;
+    type Output = (String, u64);
+    fn reduce(
+        &self,
+        key: &String,
+        values: &[u64],
+        ctx: &mut TaskContext,
+        out: &mut Vec<(String, u64)>,
+    ) {
+        ctx.charge(values.len() as f64);
+        ctx.counters.add("reduced_values", values.len() as u64);
+        ctx.log_event(1, values.len() as u64);
+        out.push((key.clone(), values.iter().sum()));
+    }
+}
+
+/// Zipf-ish corpus: a few very hot words plus a long tail, so per-task
+/// costs are skewed enough that stealing actually engages.
+fn corpus(lines: usize) -> Vec<String> {
+    (0..lines)
+        .map(|i| format!("the of w{} the w{} tail{}", i % 7, i % 63, i))
+        .collect()
+}
+
+fn cfg(executor: ExecutorKind, threads: usize) -> JobConfig {
+    let mut cfg = JobConfig::new("exec-determinism", ClusterSpec::paper(4));
+    cfg.worker_threads = Some(threads);
+    cfg.executor = executor;
+    cfg
+}
+
+/// Everything in a [`JobResult`] that experiments read, in comparable form.
+fn observables(r: &JobResult<(String, u64)>) -> impl PartialEq + std::fmt::Debug {
+    let mut counters: Vec<(&'static str, u64)> = r.counters.iter().collect();
+    counters.sort();
+    (
+        r.outputs.clone(),
+        r.outputs_per_task.clone(),
+        counters,
+        r.total_virtual_cost.to_bits(),
+        r.map_phase.makespan.to_bits(),
+        r.reduce_phase.makespan.to_bits(),
+        r.map_phase
+            .task_costs
+            .iter()
+            .map(|c| c.to_bits())
+            .collect::<Vec<_>>(),
+        r.reduce_phase
+            .task_costs
+            .iter()
+            .map(|c| c.to_bits())
+            .collect::<Vec<_>>(),
+        r.timeline.clone(),
+        r.shuffle_records,
+    )
+}
+
+/// Run `job` across the whole backend × thread matrix and demand every cell
+/// matches the reference cell (cursor backend, one thread).
+fn assert_matrix_identical(
+    job: impl Fn(ExecutorKind, usize) -> JobResult<(String, u64)>,
+    spill_counters: bool,
+) {
+    let base = job(ExecutorKind::Cursor, 1);
+    if spill_counters {
+        assert!(
+            base.counters.get("shuffle_spilled_partitions") > 0,
+            "spill never engaged; the spilling cell would be vacuous"
+        );
+    }
+    for &backend in BACKENDS {
+        for &threads in THREADS {
+            let r = job(backend, threads);
+            assert_eq!(
+                observables(&base),
+                observables(&r),
+                "backend={} worker_threads={threads}",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn plain_job_identical_across_backends() {
+    let input = corpus(800);
+    assert_matrix_identical(
+        |backend, threads| {
+            run_job(
+                &cfg(backend, threads),
+                &WordMapper,
+                &GroupReducer::new(Sum),
+                &input,
+            )
+            .unwrap()
+        },
+        false,
+    );
+}
+
+#[test]
+fn combiner_job_identical_across_backends() {
+    let input = corpus(800);
+    assert_matrix_identical(
+        |backend, threads| {
+            run_job_with_combiner(
+                &cfg(backend, threads),
+                &WordMapper,
+                &SumCombiner,
+                &GroupReducer::new(Sum),
+                &input,
+            )
+            .unwrap()
+        },
+        false,
+    );
+}
+
+#[test]
+fn balanced_shuffle_identical_across_backends() {
+    let input = corpus(800);
+    assert_matrix_identical(
+        |backend, threads| {
+            let mut c = cfg(backend, threads);
+            c.shuffle_balance = Some(ShuffleBalance::Pairs);
+            run_job(&c, &WordMapper, &GroupReducer::new(Sum), &input).unwrap()
+        },
+        false,
+    );
+}
+
+#[test]
+fn faulty_job_identical_across_backends() {
+    let input = corpus(800);
+    assert_matrix_identical(
+        |backend, threads| {
+            let mut c = cfg(backend, threads);
+            c.faults = Some(FaultPlan::fail_reduce(0, 2));
+            let r = run_job(&c, &WordMapper, &GroupReducer::new(Sum), &input).unwrap();
+            assert_eq!(r.counters.get("task_retries"), 2);
+            r
+        },
+        false,
+    );
+}
+
+#[test]
+fn spilling_job_identical_across_backends() {
+    let input = corpus(400);
+    // A 60-record budget forces most partitions of this corpus to spill,
+    // so the executor also drives the external-sort dispatch path.
+    let spill = ShuffleSpillConfig::new(60);
+    assert_matrix_identical(
+        |backend, threads| {
+            run_job_spilling(
+                &cfg(backend, threads),
+                &WordMapper,
+                &GroupReducer::new(Sum),
+                &spill,
+                &input,
+            )
+            .unwrap()
+        },
+        true,
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    // Steal order is the one scheduling freedom the work-stealing backend
+    // adds over the cursor pool; whatever corpus shape the generator picks,
+    // a stolen-range execution at 8 threads must be bit-identical to the
+    // inline single-thread reference.
+    #[test]
+    fn prop_steal_order_never_leaks(lines in 1usize..300, hot in 1usize..9) {
+        let input: Vec<String> = (0..lines)
+            .map(|i| format!("hot{} mid{} tail{i}", i % hot, i % 31))
+            .collect();
+        let base = run_job(
+            &cfg(ExecutorKind::Cursor, 1),
+            &WordMapper,
+            &GroupReducer::new(Sum),
+            &input,
+        )
+        .unwrap();
+        let stolen = run_job(
+            &cfg(ExecutorKind::WorkStealing, 8),
+            &WordMapper,
+            &GroupReducer::new(Sum),
+            &input,
+        )
+        .unwrap();
+        prop_assert_eq!(observables(&base), observables(&stolen));
+    }
+}

@@ -1,7 +1,7 @@
 //! Offline stand-in for [loom](https://docs.rs/loom): exhaustive model
 //! checking of thread interleavings over the small API surface this
 //! workspace actually uses — `loom::model`, `loom::thread::{spawn, yield_now}`,
-//! `loom::sync::Arc`, and `loom::sync::atomic::AtomicUsize`.
+//! `loom::sync::Arc`, and `loom::sync::atomic::{AtomicUsize, AtomicU64}`.
 //!
 //! ## How it explores interleavings
 //!
@@ -322,58 +322,69 @@ pub mod sync {
 
         pub use std::sync::atomic::Ordering;
 
-        /// Model-checked `AtomicUsize`: every operation is a schedule
-        /// point, then executes `SeqCst` on a std atomic (one controlled
-        /// thread runs at a time, so `SeqCst` realizes every interleaving
-        /// the scheduler chooses regardless of the ordering asked for).
-        #[derive(Debug, Default)]
-        pub struct AtomicUsize {
-            inner: std::sync::atomic::AtomicUsize,
-        }
-
-        impl AtomicUsize {
-            pub fn new(v: usize) -> Self {
-                AtomicUsize {
-                    inner: std::sync::atomic::AtomicUsize::new(v),
+        /// Model-checked atomics: every operation is a schedule point, then
+        /// executes `SeqCst` on a std atomic (one controlled thread runs at
+        /// a time, so `SeqCst` realizes every interleaving the scheduler
+        /// chooses regardless of the ordering asked for).
+        macro_rules! modeled_atomic {
+            ($name:ident, $std:path, $prim:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
                 }
-            }
 
-            fn schedule_point() {
-                with_context(|sched, me| sched.schedule(me));
-            }
+                impl $name {
+                    pub fn new(v: $prim) -> Self {
+                        $name {
+                            inner: <$std>::new(v),
+                        }
+                    }
 
-            pub fn load(&self, _order: Ordering) -> usize {
-                Self::schedule_point();
-                self.inner.load(Ordering::SeqCst)
-            }
+                    fn schedule_point() {
+                        with_context(|sched, me| sched.schedule(me));
+                    }
 
-            pub fn store(&self, v: usize, _order: Ordering) {
-                Self::schedule_point();
-                self.inner.store(v, Ordering::SeqCst);
-            }
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        Self::schedule_point();
+                        self.inner.load(Ordering::SeqCst)
+                    }
 
-            pub fn fetch_add(&self, v: usize, _order: Ordering) -> usize {
-                Self::schedule_point();
-                self.inner.fetch_add(v, Ordering::SeqCst)
-            }
+                    pub fn store(&self, v: $prim, _order: Ordering) {
+                        Self::schedule_point();
+                        self.inner.store(v, Ordering::SeqCst);
+                    }
 
-            pub fn swap(&self, v: usize, _order: Ordering) -> usize {
-                Self::schedule_point();
-                self.inner.swap(v, Ordering::SeqCst)
-            }
+                    pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                        Self::schedule_point();
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
 
-            pub fn compare_exchange(
-                &self,
-                current: usize,
-                new: usize,
-                _success: Ordering,
-                _failure: Ordering,
-            ) -> Result<usize, usize> {
-                Self::schedule_point();
-                self.inner
-                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
-            }
+                    pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                        Self::schedule_point();
+                        self.inner.swap(v, Ordering::SeqCst)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        Self::schedule_point();
+                        self.inner.compare_exchange(
+                            current,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    }
+                }
+            };
         }
+
+        modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
     }
 }
 
