@@ -30,21 +30,32 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System`; the only added work is an atomic
+// counter bump, which cannot violate any GlobalAlloc contract.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards `layout` unchanged, so the caller's contract with
+    // `System.alloc` holds verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         // lint:allow(relaxed) standalone event counter: only the final total
         // is read, after the threads join, so no ordering is needed.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's alloc contract; forwarded as-is.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: `ptr`/`layout` come from the matching `alloc` above, which
+    // returned a `System` allocation of exactly that layout.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same pointer and layout the caller received from alloc.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: forwards the caller's pointer and layouts unchanged to
+    // `System.realloc`, which defines the contract being relied on.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // lint:allow(relaxed) standalone event counter, same as alloc above.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's realloc contract; forwarded as-is.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -321,6 +332,7 @@ fn end_to_end(records: usize) -> WallPhases {
         .flatten()
         .collect();
     let cfg = JobConfig::new("bench-shuffle-e2e", ClusterSpec::paper(4));
+    // lint:allow(panic_path) bench harness: a failed run invalidates the measurement, so crash with the error
     let r = run_job(&cfg, &KeyedMapper, &GroupReducer::new(Count), &input).unwrap();
     r.wall_phases
 }

@@ -250,16 +250,18 @@ pub fn build_forests(ds: &Dataset, families: &[BlockingFamily]) -> Vec<Forest> {
                 by_key.entry(family.root_key(e)).or_default().push(e.id);
             }
             let mut keys: Vec<String> = by_key
-                .iter() // lint:allow(hash_iter) keys are sorted before use, right below
+                .iter()
                 .filter(|(_, v)| v.len() >= 2)
                 .map(|(k, _)| k.clone())
                 .collect();
             keys.sort();
             let trees = keys
                 .into_iter()
-                .map(|key| {
-                    let members = by_key.remove(&key).expect("key from groups");
-                    Tree::build(fi, family, key, members, ds)
+                .filter_map(|key| {
+                    // The key came out of `by_key` just above, so the miss
+                    // arm (skip) is unreachable rather than a panic.
+                    let members = by_key.remove(&key)?;
+                    Some(Tree::build(fi, family, key, members, ds))
                 })
                 .collect();
             Forest { family: fi, trees }

@@ -196,7 +196,7 @@ impl JournalEvent {
             JournalEvent::JobStarted { job_id, params } => {
                 out.push(TAG_JOB_STARTED);
                 put_str(&mut out, job_id);
-                put_u32(&mut out, params.len() as u32);
+                put_u32(&mut out, crate::frame::len_u32(params.len()));
                 for (k, v) in params {
                     put_str(&mut out, k);
                     put_str(&mut out, v);
@@ -252,7 +252,7 @@ impl JournalEvent {
             }
             JournalEvent::CountersSnapshot { entries } => {
                 out.push(TAG_COUNTERS);
-                put_u32(&mut out, entries.len() as u32);
+                put_u32(&mut out, crate::frame::len_u32(entries.len()));
                 for (k, v) in entries {
                     put_str(&mut out, k);
                     put_u64(&mut out, *v);
@@ -299,7 +299,7 @@ impl JournalEvent {
         let ev = match tag {
             TAG_JOB_STARTED => {
                 let job_id = r.str()?;
-                let n = r.u32()? as usize;
+                let n = r.ulen()?;
                 let mut params = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     let k = r.str()?;
@@ -335,7 +335,7 @@ impl JournalEvent {
                 checkpoint_json: r.str()?,
             },
             TAG_COUNTERS => {
-                let n = r.u32()? as usize;
+                let n = r.ulen()?;
                 let mut entries = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     let k = r.str()?;
@@ -386,12 +386,12 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+    put_u32(out, crate::frame::len_u32(s.len()));
     out.extend_from_slice(s.as_bytes());
 }
 
 fn put_failures(out: &mut Vec<u8>, failures: &[AttemptFailure]) {
-    put_u32(out, failures.len() as u32);
+    put_u32(out, crate::frame::len_u32(failures.len()));
     for f in failures {
         put_u32(out, f.attempt);
         put_f64(out, f.wasted_cost);
@@ -431,6 +431,13 @@ impl Reader<'_> {
         Ok(u32::from_le_bytes(b))
     }
 
+    /// A `u32` length field widened to `usize` for indexing; errors (rather
+    /// than truncating) on the 16-bit targets where it cannot fit.
+    fn ulen(&mut self) -> Result<usize, JournalError> {
+        let n = self.u32()?;
+        usize::try_from(n).map_err(|_| JournalError::BadEvent(format!("length {n} out of range")))
+    }
+
     fn u64(&mut self) -> Result<u64, JournalError> {
         let mut b = [0u8; 8];
         b.copy_from_slice(self.take(8)?);
@@ -442,14 +449,14 @@ impl Reader<'_> {
     }
 
     fn str(&mut self) -> Result<String, JournalError> {
-        let n = self.u32()? as usize;
+        let n = self.ulen()?;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| JournalError::BadEvent(format!("non-UTF-8 string: {e}")))
     }
 
     fn failures(&mut self) -> Result<Vec<AttemptFailure>, JournalError> {
-        let n = self.u32()? as usize;
+        let n = self.ulen()?;
         let mut out = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             out.push(AttemptFailure {

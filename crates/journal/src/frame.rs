@@ -19,11 +19,32 @@ pub const FRAME_HEADER: usize = 8;
 /// not make recovery attempt a multi-gigabyte slice).
 pub const MAX_PAYLOAD: usize = 64 << 20;
 
+/// `usize` length → the `u32` wire field. Every caller frames payloads
+/// bounded far below `u32::MAX` (see [`MAX_PAYLOAD`]); debug builds assert
+/// the invariant so a future over-long payload trips loudly instead of
+/// truncating silently.
+pub(crate) fn len_u32(len: usize) -> u32 {
+    debug_assert!(
+        u32::try_from(len).is_ok(),
+        "payload length {len} overflows the u32 wire field"
+    );
+    // lint:allow(lossy_cast) asserted in range above; payloads are capped at MAX_PAYLOAD
+    len as u32
+}
+
+/// `usize` byte position → `u64` durable offset: a widening on every
+/// supported target (`usize` is at most 64 bits here).
+pub(crate) fn off_u64(pos: usize) -> u64 {
+    // lint:allow(lossy_cast) usize -> u64 is a lossless widening on all supported targets
+    pos as u64
+}
+
 /// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
 const CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint:allow(lossy_cast) const context (try_from unavailable); i < 256 fits u32
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -44,7 +65,7 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = u32::MAX;
     for &b in bytes {
-        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        let idx = usize::from((crc ^ u32::from(b)).to_le_bytes()[0]);
         crc = (crc >> 8) ^ CRC_TABLE[idx];
     }
     !crc
@@ -52,7 +73,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// Append one framed record for `payload` to `out`.
 pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len_u32(payload.len()).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
 }
@@ -114,7 +135,7 @@ pub fn read_frames(bytes: &[u8]) -> Result<ParsedFrames<'_>, crate::JournalError
         }
         match frame_at(bytes, pos) {
             FrameParse::Ok { payload, next } => {
-                records.push((pos as u64, payload));
+                records.push((off_u64(pos), payload));
                 pos = next;
             }
             FrameParse::Torn => {
@@ -127,8 +148,8 @@ pub fn read_frames(bytes: &[u8]) -> Result<ParsedFrames<'_>, crate::JournalError
             }
         }
     }
-    report.valid_bytes = pos as u64;
-    report.dropped_bytes = (bytes.len() - pos) as u64;
+    report.valid_bytes = off_u64(pos);
+    report.dropped_bytes = off_u64(bytes.len() - pos);
     Ok((records, report))
 }
 
@@ -169,7 +190,9 @@ fn frame_at(bytes: &[u8], pos: usize) -> FrameParse<'_> {
     let mut crc_b = [0u8; 4];
     len_b.copy_from_slice(&header[..4]);
     crc_b.copy_from_slice(&header[4..]);
-    let len = u32::from_le_bytes(len_b) as usize;
+    let Ok(len) = usize::try_from(u32::from_le_bytes(len_b)) else {
+        return FrameParse::Corrupt;
+    };
     if len > MAX_PAYLOAD {
         // An absurd length is corruption, not a torn tail: a real record
         // could never have been written this large.

@@ -113,7 +113,7 @@ impl JournalStore for MemStore {
         check_job_id(job)?;
         let mut logs = self.logs.lock();
         let log = logs.entry(job.to_string()).or_default();
-        let offset = log.len() as u64;
+        let offset = crate::frame::off_u64(log.len());
         log.extend_from_slice(bytes);
         Ok(offset)
     }

@@ -1,0 +1,162 @@
+//! Baseline suppression files for `--baseline` / `--write-baseline`.
+//!
+//! A baseline is a plain-text file with one `rule path` pair per line
+//! (`#` comments and blank lines ignored). Diagnostics whose (rule, file)
+//! match an entry are suppressed — the mechanism for adopting a new rule
+//! without blocking CI on a backlog. Every entry must still earn its keep:
+//! an entry that matches nothing produces a `baseline_stale` diagnostic so
+//! the file shrinks as debt is paid down, never silently rots.
+
+use crate::rules::Diagnostic;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    /// 1-based line in the baseline file, for stale-entry diagnostics.
+    pub line: usize,
+}
+
+/// Parse baseline text. Malformed lines are errors, not ignored — a typo'd
+/// suppression that silently matched nothing would defeat the audit.
+pub fn parse(src: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(file), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "baseline line {}: expected `rule path`, got {raw:?}",
+                idx + 1
+            ));
+        };
+        entries.push(Entry {
+            rule: rule.to_string(),
+            file: file.replace('\\', "/"),
+            line: idx + 1,
+        });
+    }
+    Ok(entries)
+}
+
+/// Split `diags` into (kept, suppressed-count) and append `baseline_stale`
+/// diagnostics for entries that matched nothing.
+pub fn apply(
+    diags: Vec<Diagnostic>,
+    entries: &[Entry],
+    baseline_path: &str,
+) -> (Vec<Diagnostic>, usize) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0usize;
+    for d in diags {
+        let file = d.file.replace('\\', "/");
+        let hit = entries
+            .iter()
+            .position(|e| e.rule == d.rule && e.file == file);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(d),
+        }
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if !used[i] {
+            kept.push(Diagnostic {
+                file: baseline_path.to_string(),
+                line: e.line,
+                rule: "baseline_stale".into(),
+                message: format!(
+                    "baseline entry `{} {}` no longer matches any diagnostic; delete it",
+                    e.rule, e.file
+                ),
+            });
+        }
+    }
+    (kept, suppressed)
+}
+
+/// Render a baseline file covering `diags`, sorted and deduplicated.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut pairs: Vec<(String, String)> = diags
+        .iter()
+        .map(|d| (d.rule.clone(), d.file.replace('\\', "/")))
+        .collect();
+    pairs.sort();
+    pairs.dedup();
+    let mut out = String::from(
+        "# pper-lint baseline: one `rule path` per line. Entries suppress all\n\
+         # matching diagnostics; stale entries are themselves reported.\n",
+    );
+    for (rule, file) in pairs {
+        out.push_str(&rule);
+        out.push(' ');
+        out.push_str(&file);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &str, file: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule: rule.into(),
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_rejects_malformed() {
+        let src = "# header\n\nrelaxed crates/a/src/lib.rs\nwall_clock src/main.rs\n";
+        let entries = parse(src).expect("parse");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "relaxed");
+        assert_eq!(entries[1].line, 4);
+        assert!(parse("relaxed\n").is_err());
+        assert!(parse("relaxed a b\n").is_err());
+    }
+
+    #[test]
+    fn apply_suppresses_matches_and_flags_stale() {
+        let entries = parse("relaxed crates/a/src/lib.rs\nhash_iter crates/gone.rs\n").expect("ok");
+        let diags = vec![
+            diag("relaxed", "crates/a/src/lib.rs", 3),
+            diag("relaxed", "crates/a/src/lib.rs", 9),
+            diag("wall_clock", "crates/b/src/lib.rs", 1),
+        ];
+        let (kept, suppressed) = apply(diags, &entries, "lint-baseline.txt");
+        assert_eq!(suppressed, 2);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].rule, "wall_clock");
+        assert_eq!(kept[1].rule, "baseline_stale");
+        assert_eq!(kept[1].file, "lint-baseline.txt");
+        assert_eq!(kept[1].line, 2);
+    }
+
+    #[test]
+    fn render_is_sorted_deduped_and_reparseable() {
+        let diags = vec![
+            diag("wall_clock", "b.rs", 1),
+            diag("relaxed", "a.rs", 2),
+            diag("relaxed", "a.rs", 9),
+        ];
+        let text = render(&diags);
+        let entries = parse(&text).expect("round-trip");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rule, "relaxed");
+        assert_eq!(entries[1].rule, "wall_clock");
+        let (kept, suppressed) = apply(diags, &entries, "bl");
+        assert_eq!(suppressed, 3);
+        assert!(kept.is_empty(), "freshly written baseline suppresses all");
+    }
+}

@@ -1,0 +1,249 @@
+//! A minimal JSON reader, used to validate the linter's own machine
+//! outputs (`--format json`, `--format sarif`) in tests without external
+//! dependencies. Write-side rendering lives with each format
+//! ([`crate::to_json`], [`crate::sarif`]); this module only parses.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document. Trailing non-whitespace is an error.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(src, bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(src: &str, bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err("nesting too deep".into());
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(src, bytes, pos, depth + 1)? {
+                    Value::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(src, bytes, pos, depth + 1)?;
+                fields.push((key, val));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(src, bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(src, bytes, pos).map(Value::Str),
+        Some(b't') if src[*pos..].starts_with("true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if src[*pos..].starts_with("false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if src[*pos..].starts_with("null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            src[start..*pos]
+                .parse::<f64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number at byte {start}: {e}"))
+        }
+        _ => Err(format!("unexpected byte at {pos}")),
+    }
+}
+
+fn parse_string(src: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = src.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            c if c < 0x80 => {
+                out.push(c as char);
+                *pos += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the whole scalar.
+                let s = &src[*pos..];
+                let ch = s.chars().next().ok_or("truncated utf-8")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_linters_own_json() {
+        let diags = vec![crate::Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 7,
+            rule: "relaxed".into(),
+            message: "line1\nline2".into(),
+        }];
+        let v = parse(&crate::to_json(&diags)).expect("parse");
+        let arr = v.as_arr().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("file").and_then(Value::as_str), Some("a\"b.rs"));
+        assert_eq!(arr[0].get("line").and_then(Value::as_num), Some(7.0));
+        assert_eq!(
+            arr[0].get("message").and_then(Value::as_str),
+            Some("line1\nline2")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "[1] trailing", "\"open"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_nested_structures_and_escapes() {
+        let v = parse(r#"{"a": [1, {"b": "A\n"}], "c": null, "d": true}"#).expect("parse");
+        assert_eq!(
+            v.get("a")
+                .and_then(Value::as_arr)
+                .and_then(|a| a.get(1))
+                .and_then(|o| o.get("b"))
+                .and_then(Value::as_str),
+            Some("A\n")
+        );
+        assert_eq!(v.get("c"), Some(&Value::Null));
+        assert_eq!(v.get("d"), Some(&Value::Bool(true)));
+    }
+}

@@ -48,6 +48,9 @@ pub struct LexedFile {
     /// Lines that contain only comments and/or whitespace (1-based). Used
     /// to let an allow annotation above a statement cover it.
     pub comment_only_lines: Vec<usize>,
+    /// Lines whose comment text contains a `SAFETY:` marker (1-based),
+    /// consumed by rule U1 (`safety_comment`).
+    pub safety_lines: Vec<usize>,
 }
 
 impl LexedFile {
@@ -62,6 +65,16 @@ impl LexedFile {
         self.allows
             .iter()
             .filter(move |a| a.line >= first && a.line <= line)
+    }
+
+    /// True when a `SAFETY:` comment covers `line`: on the line itself or
+    /// in the contiguous run of comment-only lines directly above it.
+    pub fn safety_covering(&self, line: usize) -> bool {
+        let mut first = line;
+        while first > 1 && self.comment_only_lines.binary_search(&(first - 1)).is_ok() {
+            first -= 1;
+        }
+        self.safety_lines.iter().any(|&l| l >= first && l <= line)
     }
 }
 
@@ -101,6 +114,7 @@ pub fn lex(src: &str) -> LexedFile {
                 }
                 line_has_comment = true;
                 harvest_allow(&src[start..i], line, &mut out.allows);
+                harvest_safety(&src[start..i], line, &mut out.safety_lines);
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
                 line_has_comment = true;
@@ -124,6 +138,7 @@ pub fn lex(src: &str) -> LexedFile {
                 }
                 line_has_comment = true;
                 harvest_allow(&src[start..i], start_line, &mut out.allows);
+                harvest_safety(&src[start..i], start_line, &mut out.safety_lines);
             }
             b'"' => {
                 line_has_code = true;
@@ -364,6 +379,16 @@ fn harvest_allow(comment: &str, first_line: usize, out: &mut Vec<AllowAnnotation
     }
 }
 
+/// Record the line of every `SAFETY:` marker in one comment's text, for
+/// rule U1.
+fn harvest_safety(comment: &str, first_line: usize, out: &mut Vec<usize>) {
+    for (offset, text) in comment.lines().enumerate() {
+        if text.contains("SAFETY:") {
+            out.push(first_line + offset);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +452,20 @@ mod tests {
         let src = "let x = m.iter(); // lint:allow(hash_iter) folded commutatively below\n";
         let lexed = lex(src);
         assert!(lexed.allows_covering(1).any(|a| a.rule == "hash_iter"));
+    }
+
+    #[test]
+    fn safety_comments_are_harvested_and_cover_code_below() {
+        let src = "\n// SAFETY: the mapping is immutable for its lifetime\n\
+                   // and never handed out mutably.\nunsafe impl Send for M {}\n\
+                   \nunsafe impl Sync for M {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.safety_lines, vec![2]);
+        assert!(lexed.safety_covering(4), "contiguous comment block above");
+        assert!(!lexed.safety_covering(6), "blank+code break coverage");
+        // Same-line marker also covers.
+        let lexed = lex("let p = unsafe { deref(q) }; // SAFETY: q is live\n");
+        assert!(lexed.safety_covering(1));
     }
 
     #[test]

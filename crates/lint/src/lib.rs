@@ -4,20 +4,43 @@
 //! The repo's headline guarantee — bit-identical results across thread
 //! counts, fault plans, and resume points — rests on invariants that unit
 //! tests only probe indirectly: no hash-order iteration feeding an emit, no
-//! wall-clock reads on virtual-time paths, justified relaxed atomics, and
-//! `MrError`-routed failures in the runtime hot paths. This crate checks
-//! those invariants on every file of the workspace; see [`rules`] for the
-//! rule table and the `lint:allow` annotation grammar.
+//! wall-clock reads on virtual-time paths, justified relaxed atomics,
+//! `MrError`-routed failures in the runtime hot paths, VFS-routed file I/O,
+//! audited `unsafe`, and truncation-free codec arithmetic. See [`rules`]
+//! for the rule table and the `lint:allow` annotation grammar.
 //!
-//! Run it as `cargo run -p pper-lint -- crates/` (add `--format json` for
-//! CI). The binary exits nonzero on any unsuppressed diagnostic.
+//! Two analysis depths exist:
+//!
+//! - [`lint_source`] / [`lint_tree`]: the legacy single-file scoping —
+//!   each rule fires only in its designated crates/files.
+//! - [`analyze`] / [`analyze_tree`]: the whole-workspace analysis — on top
+//!   of the legacy scoping it parses every file into functions and calls
+//!   ([`parser`]), builds a cross-crate call graph ([`taint`]), and
+//!   promotes any sink *reachable* from a deterministic entry point
+//!   (map/reduce task bodies, `Executor::run`, the shuffle builders,
+//!   journal replay), reporting the full call chain in the diagnostic.
+//!
+//! Run it as `cargo run -p pper-lint -- crates/ src/` (add `--format json`
+//! or `--format sarif` for CI, `--check-allows` to flag stale
+//! suppressions, `--baseline <file>` to adopt rules incrementally). The
+//! binary exits nonzero on any unsuppressed diagnostic.
 
+pub mod analysis;
+pub mod baseline;
+mod casts;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+mod safety;
+pub mod sarif;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
+pub use analysis::{analyze, Options, SourceFile};
 pub use rules::{lint_source, Diagnostic, RULE_IDS};
+pub use sarif::to_sarif;
 
 /// Recursively collect the `.rs` files under `root` (or `root` itself for a
 /// file), skipping build output, VCS metadata, and lint test fixtures.
@@ -50,15 +73,16 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lint every `.rs` file under the given roots. Unreadable files surface as
-/// an `io` pseudo-diagnostic rather than aborting the run.
-pub fn lint_tree(roots: &[PathBuf]) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
+/// Read every `.rs` file under the given roots into [`SourceFile`]s.
+/// I/O failures surface as `io` pseudo-diagnostics rather than aborting.
+pub fn read_sources(roots: &[PathBuf]) -> (Vec<SourceFile>, Vec<Diagnostic>) {
+    let mut sources = Vec::new();
+    let mut io_diags = Vec::new();
     for root in roots {
         let files = match collect_rs_files(root) {
             Ok(files) => files,
             Err(err) => {
-                diags.push(Diagnostic {
+                io_diags.push(Diagnostic {
                     file: root.display().to_string(),
                     line: 0,
                     rule: "io".into(),
@@ -70,8 +94,8 @@ pub fn lint_tree(roots: &[PathBuf]) -> Vec<Diagnostic> {
         for file in files {
             let path = file.display().to_string();
             match std::fs::read_to_string(&file) {
-                Ok(src) => diags.extend(lint_source(&path, &src)),
-                Err(err) => diags.push(Diagnostic {
+                Ok(src) => sources.push(SourceFile { path, src }),
+                Err(err) => io_diags.push(Diagnostic {
                     file: path,
                     line: 0,
                     rule: "io".into(),
@@ -79,6 +103,26 @@ pub fn lint_tree(roots: &[PathBuf]) -> Vec<Diagnostic> {
                 }),
             }
         }
+    }
+    (sources, io_diags)
+}
+
+/// Run the whole-workspace analysis over every `.rs` file under the given
+/// roots. This is what the CLI and CI use.
+pub fn analyze_tree(roots: &[PathBuf], opts: &Options) -> Vec<Diagnostic> {
+    let (sources, mut diags) = read_sources(roots);
+    diags.extend(analyze(&sources, opts));
+    diags.sort();
+    diags
+}
+
+/// Lint every `.rs` file under the given roots with the legacy single-file
+/// scoping (no call-graph promotion). Kept for comparison runs and
+/// back-compat; prefer [`analyze_tree`].
+pub fn lint_tree(roots: &[PathBuf]) -> Vec<Diagnostic> {
+    let (sources, mut diags) = read_sources(roots);
+    for f in &sources {
+        diags.extend(lint_source(&f.path, &f.src));
     }
     diags.sort();
     diags

@@ -1,0 +1,654 @@
+//! Item-level parsing on top of the token stream: function definitions,
+//! `impl` contexts, `use` imports, and call/method-call expressions.
+//!
+//! This is not a full Rust parser — it is the smallest structural layer the
+//! call-graph taint analysis in [`crate::taint`] needs: which functions
+//! exist (with their `impl Trait for Type` context), what each one calls,
+//! and what each file imports. It shares the philosophy of
+//! [`crate::lexer`]: hand-rolled, dependency-free, and panic-free on
+//! arbitrary input — unparseable stretches are skipped, never fatal.
+
+use crate::lexer::Token;
+
+// ---------------------------------------------------------------------------
+// shared token helpers (also used by rules.rs)
+
+pub(crate) fn is_ident(t: &Token, s: &str) -> bool {
+    t.kind == crate::lexer::TokenKind::Ident && t.text == s
+}
+
+pub(crate) fn is_any_ident(t: &Token) -> bool {
+    t.kind == crate::lexer::TokenKind::Ident
+}
+
+pub(crate) fn is_punct(t: &Token, c: char) -> bool {
+    t.kind == crate::lexer::TokenKind::Punct && t.text.as_bytes() == [c as u8]
+}
+
+pub(crate) fn is_path_sep(tokens: &[Token], i: usize) -> bool {
+    i + 1 < tokens.len() && is_punct(&tokens[i], ':') && is_punct(&tokens[i + 1], ':')
+}
+
+pub(crate) fn depth_delta(t: &Token) -> i32 {
+    if t.kind != crate::lexer::TokenKind::Punct {
+        return 0;
+    }
+    match t.text.as_bytes().first() {
+        Some(b'(' | b'[' | b'{') => 1,
+        Some(b')' | b']' | b'}') => -1,
+        _ => 0,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parsed structures
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The called name (`foo` in `foo(…)`, `bar` in `x.bar(…)` or
+    /// `Type::bar(…)`).
+    pub name: String,
+    /// For `a::b::name(…)`, the path segment directly before the name
+    /// (`b`). `Self::name(…)` carries `Self`. Plain and method calls have
+    /// no qualifier.
+    pub qualifier: Option<String>,
+    /// The first path segment for qualified calls (`a` above) — used to
+    /// match crate-level imports.
+    pub root: Option<String>,
+    /// True for `.name(…)` receiver calls.
+    pub method: bool,
+    /// 1-based source line of the call.
+    pub line: usize,
+}
+
+/// One `fn` item (free function, impl method, or trait default method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// `impl Trait for Type` / `impl Type` context: the type name.
+    pub impl_type: Option<String>,
+    /// `impl Trait for Type` context: the trait name.
+    pub impl_trait: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token-index range of the body, `[open_brace, close_brace]`.
+    pub body: (usize, usize),
+    /// True when the definition sits under a `#[cfg(test)]` item.
+    pub masked: bool,
+    /// Call sites attributed to this function (innermost-fn wins).
+    pub calls: Vec<CallSite>,
+}
+
+/// One `use` import: `name` is the bound simple name (alias-aware), `path`
+/// the `::`-joined source path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    pub name: String,
+    pub path: String,
+}
+
+/// Structural facts for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnDef>,
+    pub imports: Vec<Import>,
+}
+
+// ---------------------------------------------------------------------------
+// parsing
+
+struct ImplCtx {
+    type_name: Option<String>,
+    trait_name: Option<String>,
+    body: (usize, usize),
+}
+
+/// Parse one file's token stream. `mask` is the `#[cfg(test)]` mask from
+/// [`crate::rules`]; both slices must be the same length (extra tokens are
+/// treated as unmasked).
+pub fn parse_file(tokens: &[Token], mask: &[bool]) -> ParsedFile {
+    let masked = |i: usize| mask.get(i).copied().unwrap_or(false);
+    let close_of = brace_matches(tokens);
+
+    // Pass 1: impl contexts.
+    let mut impls: Vec<ImplCtx> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_ident(&tokens[i], "impl") {
+            if let Some(ctx) = parse_impl_header(tokens, i, &close_of) {
+                i = ctx.body.0 + 1;
+                impls.push(ctx);
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: fn definitions with body ranges.
+    let mut fns: Vec<FnDef> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_ident(&tokens[i], "fn") {
+            if let Some((def, next)) = parse_fn_header(tokens, i, &close_of, masked(i)) {
+                i = next;
+                fns.push(def);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Attach impl context: the innermost impl whose body contains the fn.
+    for f in &mut fns {
+        let mut best: Option<&ImplCtx> = None;
+        for ic in &impls {
+            if ic.body.0 < f.body.0 && f.body.1 <= ic.body.1 {
+                // `is_none_or` needs Rust 1.82; the workspace MSRV is 1.80.
+                #[allow(clippy::unnecessary_map_or)]
+                let tighter = best.map_or(true, |b: &ImplCtx| ic.body.0 > b.body.0);
+                if tighter {
+                    best = Some(ic);
+                }
+            }
+        }
+        if let Some(ic) = best {
+            f.impl_type = ic.type_name.clone();
+            f.impl_trait = ic.trait_name.clone();
+        }
+    }
+
+    // Pass 3: imports.
+    let mut imports = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_ident(&tokens[i], "use") {
+            i = parse_use(tokens, i + 1, &mut imports);
+            continue;
+        }
+        i += 1;
+    }
+
+    // Pass 4: call sites, attributed to the innermost enclosing fn body.
+    // `fns` is sorted by body start (scan order), so the innermost
+    // containing body is the last one that starts before the call site.
+    for i in 0..tokens.len() {
+        if masked(i) {
+            continue;
+        }
+        let Some(call) = call_at(tokens, i) else {
+            continue;
+        };
+        let owner = fns
+            .iter_mut()
+            .filter(|f| f.body.0 < i && i <= f.body.1)
+            .max_by_key(|f| f.body.0);
+        if let Some(f) = owner {
+            f.calls.push(call);
+        }
+    }
+
+    ParsedFile { fns, imports }
+}
+
+/// `close_of[i] = j` for every `{` at token `i` matching `}` at `j`.
+fn brace_matches(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut close_of = vec![None; tokens.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if is_punct(t, '{') {
+            stack.push(i);
+        } else if is_punct(t, '}') {
+            if let Some(open) = stack.pop() {
+                close_of[open] = Some(i);
+            }
+        }
+    }
+    close_of
+}
+
+/// Skip a `<…>` generic group starting at `i` (which must point at `<`).
+/// Returns the index one past the matching `>`. Tolerates `->` inside
+/// (`Fn(…) -> T` bounds) by not counting a `>` preceded by `-`.
+fn skip_generics(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') && !(i > 0 && is_punct(&tokens[i - 1], '-')) {
+            depth -= 1;
+            if depth <= 0 {
+                return i + 1;
+            }
+        } else if is_punct(t, ';') || is_punct(t, '{') {
+            // Unbalanced — bail out rather than swallowing the file.
+            return i;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse `impl … {`: type/trait names plus the body token range.
+fn parse_impl_header(tokens: &[Token], at: usize, close_of: &[Option<usize>]) -> Option<ImplCtx> {
+    let mut i = at + 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        i = skip_generics(tokens, i);
+    }
+    // Collect path segments until `for`, `where`, `{`, or something that
+    // rules out an impl header (`;`, EOF).
+    let mut first_path_last: Option<String> = None;
+    let mut second_path_last: Option<String> = None;
+    let mut saw_for = false;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if is_punct(t, '{') {
+            let close = close_of.get(i).copied().flatten()?;
+            let (type_name, trait_name) = if saw_for {
+                (second_path_last, first_path_last)
+            } else {
+                (first_path_last, None)
+            };
+            return Some(ImplCtx {
+                type_name,
+                trait_name,
+                body: (i, close),
+            });
+        }
+        if is_punct(t, ';') {
+            return None;
+        }
+        if is_ident(t, "where") {
+            // Skip the clause: scan to the `{` at outer level.
+            let mut j = i + 1;
+            while j < tokens.len() && !is_punct(&tokens[j], '{') {
+                if is_punct(&tokens[j], '<') {
+                    j = skip_generics(tokens, j);
+                    continue;
+                }
+                if is_punct(&tokens[j], ';') {
+                    return None;
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if is_ident(t, "for") {
+            saw_for = true;
+            i += 1;
+            continue;
+        }
+        if is_punct(t, '<') {
+            i = skip_generics(tokens, i);
+            continue;
+        }
+        if is_any_ident(t) && !is_ident(t, "dyn") && !is_ident(t, "mut") {
+            if saw_for {
+                second_path_last = Some(t.text.clone());
+            } else {
+                first_path_last = Some(t.text.clone());
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse `fn name … { body }`. Returns the definition plus the index to
+/// resume scanning from (just past the header — bodies may contain nested
+/// `fn` items that must be found too). Signature-only declarations (trait
+/// methods, `fn(…)` pointer types) return `None`.
+fn parse_fn_header(
+    tokens: &[Token],
+    at: usize,
+    close_of: &[Option<usize>],
+    masked: bool,
+) -> Option<(FnDef, usize)> {
+    let name_tok = tokens.get(at + 1)?;
+    if !is_any_ident(name_tok) {
+        return None; // `fn(…)` pointer type
+    }
+    let name = name_tok.text.clone();
+    let mut i = at + 2;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        i = skip_generics(tokens, i);
+    }
+    if !tokens.get(i).is_some_and(|t| is_punct(t, '(')) {
+        return None;
+    }
+    // Skip the parameter list.
+    let mut depth = 0i32;
+    while i < tokens.len() {
+        depth += depth_delta(&tokens[i]);
+        i += 1;
+        if depth == 0 {
+            break;
+        }
+    }
+    // Scan to the body `{` or a terminating `;` (declaration only).
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if is_punct(t, '{') {
+            let close = close_of.get(i).copied().flatten()?;
+            return Some((
+                FnDef {
+                    name,
+                    impl_type: None,
+                    impl_trait: None,
+                    line: tokens[at].line,
+                    body: (i, close),
+                    masked,
+                    calls: Vec::new(),
+                },
+                i + 1,
+            ));
+        }
+        if is_punct(t, ';') {
+            return None;
+        }
+        if is_punct(t, '<') {
+            i = skip_generics(tokens, i);
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse the path tree after `use`, emitting one [`Import`] per bound leaf.
+/// Returns the index one past the terminating `;`.
+fn parse_use(tokens: &[Token], mut i: usize, out: &mut Vec<Import>) -> usize {
+    fn walk(tokens: &[Token], mut i: usize, prefix: &[String], out: &mut Vec<Import>) -> usize {
+        let mut segs: Vec<String> = prefix.to_vec();
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if is_any_ident(t) {
+                if is_ident(t, "as") {
+                    // alias: the next ident rebinds the last segment
+                    if let Some(alias) = tokens.get(i + 1).filter(|a| is_any_ident(a)) {
+                        out.push(Import {
+                            name: alias.text.clone(),
+                            path: segs.join("::"),
+                        });
+                        // consume to the next `,`/`}`/`;`
+                        i += 2;
+                        while i < tokens.len()
+                            && !is_punct(&tokens[i], ',')
+                            && !is_punct(&tokens[i], '}')
+                            && !is_punct(&tokens[i], ';')
+                        {
+                            i += 1;
+                        }
+                        segs = prefix.to_vec();
+                        continue;
+                    }
+                }
+                segs.push(t.text.clone());
+                i += 1;
+                continue;
+            }
+            if is_path_sep(tokens, i) {
+                i += 2;
+                continue;
+            }
+            if is_punct(t, '{') {
+                i = walk(tokens, i + 1, &segs, out);
+                segs = prefix.to_vec();
+                continue;
+            }
+            if is_punct(t, ',') {
+                if segs.len() > prefix.len() {
+                    if let Some(last) = segs.last() {
+                        out.push(Import {
+                            name: last.clone(),
+                            path: segs.join("::"),
+                        });
+                    }
+                }
+                segs = prefix.to_vec();
+                i += 1;
+                continue;
+            }
+            if is_punct(t, '}') || is_punct(t, ';') {
+                if segs.len() > prefix.len() {
+                    if let Some(last) = segs.last() {
+                        out.push(Import {
+                            name: last.clone(),
+                            path: segs.join("::"),
+                        });
+                    }
+                }
+                return i + 1;
+            }
+            // `*` glob, `#` attribute fragments, anything unexpected.
+            i += 1;
+        }
+        i
+    }
+    // Skip a leading visibility path (`pub(crate) use` is handled by the
+    // caller seeing `use` directly; `use ::std::…` leading sep is fine).
+    i = walk(tokens, i, &[], out);
+    i
+}
+
+/// Rust keywords and control-flow idents that look like calls (`if (…)`)
+/// but are not.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "as", "in", "move", "ref", "let",
+    "else", "break", "continue", "unsafe", "where", "impl", "dyn", "use", "pub", "mod", "crate",
+    "super", "self", "Self", "struct", "enum", "union", "trait", "type", "const", "static",
+    "await", "async", "yield", "box",
+];
+
+/// Detect a call expression whose *name* token sits at `i`.
+fn call_at(tokens: &[Token], i: usize) -> Option<CallSite> {
+    let t = tokens.get(i)?;
+    if !is_any_ident(t) || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+        return None;
+    }
+    // The name must be followed by `(`, optionally through a turbofish
+    // `::<…>`.
+    let mut j = i + 1;
+    if is_path_sep(tokens, j) && tokens.get(j + 2).is_some_and(|n| is_punct(n, '<')) {
+        j = skip_generics(tokens, j + 2);
+    }
+    if !tokens.get(j).is_some_and(|n| is_punct(n, '(')) {
+        return None;
+    }
+    let prev = i.checked_sub(1).map(|p| &tokens[p]);
+    // Macro invocation names are not calls; `name!(…)` puts `!` after the
+    // ident, which the `(`-check above already rejects. But `#[attr(…)]`
+    // arguments look like calls; reject idents directly inside `#[…]`.
+    // (Cheap approximation: previous token `[` preceded by `#`.)
+    if i >= 2 && is_punct(&tokens[i - 1], '[') && is_punct(&tokens[i - 2], '#') {
+        return None;
+    }
+    if let Some(p) = prev {
+        if is_punct(p, '.') {
+            return Some(CallSite {
+                name: t.text.clone(),
+                qualifier: None,
+                root: None,
+                method: true,
+                line: t.line,
+            });
+        }
+    }
+    // Qualified path call: walk back over `seg::seg::`.
+    if i >= 2 && is_path_sep(tokens, i - 2) {
+        let mut segs: Vec<String> = Vec::new();
+        let mut k = i;
+        while k >= 2 && is_path_sep(tokens, k - 2) {
+            let Some(seg) = k.checked_sub(3).map(|p| &tokens[p]) else {
+                break;
+            };
+            if !is_any_ident(seg) {
+                break;
+            }
+            segs.push(seg.text.clone());
+            k -= 3;
+        }
+        if segs.is_empty() {
+            return None;
+        }
+        // segs are innermost-first.
+        return Some(CallSite {
+            name: t.text.clone(),
+            qualifier: segs.first().cloned(),
+            root: segs.last().cloned(),
+            method: false,
+            line: t.line,
+        });
+    }
+    // Plain call. Definition sites (`fn name(`) were rejected by the
+    // keyword check on `fn` plus this prev-token test.
+    if let Some(p) = prev {
+        if is_ident(p, "fn") {
+            return None;
+        }
+    }
+    // Uppercase-initial plain names are tuple-struct or enum-variant
+    // constructors (`Some(…)`, `Ok(…)`) — workspace functions are
+    // snake_case.
+    if t.text
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_uppercase())
+    {
+        return None;
+    }
+    Some(CallSite {
+        name: t.text.clone(),
+        qualifier: None,
+        root: None,
+        method: false,
+        line: t.line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::cfg_test_mask;
+
+    fn parse(src: &str) -> ParsedFile {
+        let lexed = lex(src);
+        let mask = cfg_test_mask(&lexed.tokens);
+        parse_file(&lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn finds_free_and_impl_fns() {
+        let src = "fn free() {} \
+                   impl Foo { fn method(&self) {} } \
+                   impl Reducer for Bar { fn reduce(&self) { score(1); } }";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["free", "method", "reduce"]);
+        assert_eq!(p.fns[1].impl_type.as_deref(), Some("Foo"));
+        assert_eq!(p.fns[1].impl_trait, None);
+        assert_eq!(p.fns[2].impl_type.as_deref(), Some("Bar"));
+        assert_eq!(p.fns[2].impl_trait.as_deref(), Some("Reducer"));
+        assert_eq!(p.fns[2].calls.len(), 1);
+        assert_eq!(p.fns[2].calls[0].name, "score");
+    }
+
+    #[test]
+    fn generic_impls_and_where_clauses_resolve_names() {
+        let src = "impl<K: Ord, V> GroupedPartition<K, V> where K: Clone { \
+                   fn from_buckets(b: Vec<V>) -> Self { helper(b) } }";
+        let p = parse(src);
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("GroupedPartition"));
+        assert_eq!(p.fns[0].impl_trait, None);
+        let src = "impl<T> Executor for Pool<T> { fn run(&self) { dispatch(); } }";
+        let p = parse(src);
+        assert_eq!(p.fns[0].impl_trait.as_deref(), Some("Executor"));
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("Pool"));
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let src = "fn f() { plain(); x.method(); Type::assoc(); a::b::modfn(); \
+                   Some(1); vec![]; mac!(arg); x.collect::<Vec<_>>(); }";
+        let p = parse(src);
+        let calls = &p.fns[0].calls;
+        let find = |n: &str| calls.iter().find(|c| c.name == n);
+        assert!(find("plain").is_some_and(|c| !c.method && c.qualifier.is_none()));
+        assert!(find("method").is_some_and(|c| c.method));
+        assert!(find("assoc").is_some_and(|c| c.qualifier.as_deref() == Some("Type")));
+        let m = find("modfn").expect("modfn call");
+        assert_eq!(m.qualifier.as_deref(), Some("b"));
+        assert_eq!(m.root.as_deref(), Some("a"));
+        assert!(find("Some").is_none(), "constructors are not calls");
+        assert!(find("mac").is_none(), "macros are not calls");
+        assert!(
+            find("collect").is_some_and(|c| c.method),
+            "turbofish method"
+        );
+    }
+
+    #[test]
+    fn nested_fns_own_their_calls() {
+        let src = "fn outer() { inner_call(); fn nested() { deep_call(); } }";
+        let p = parse(src);
+        let outer = p.fns.iter().find(|f| f.name == "outer").expect("outer");
+        let nested = p.fns.iter().find(|f| f.name == "nested").expect("nested");
+        assert_eq!(outer.calls.len(), 1);
+        assert_eq!(outer.calls[0].name, "inner_call");
+        assert_eq!(nested.calls.len(), 1);
+        assert_eq!(nested.calls[0].name, "deep_call");
+    }
+
+    #[test]
+    fn use_imports_with_groups_and_aliases() {
+        let src = "use a::b::{c, d::e, f as g}; use pper_simil::score;";
+        let p = parse(src);
+        let find = |n: &str| p.imports.iter().find(|i| i.name == n);
+        assert_eq!(find("c").map(|i| i.path.as_str()), Some("a::b::c"));
+        assert_eq!(find("e").map(|i| i.path.as_str()), Some("a::b::d::e"));
+        assert_eq!(find("g").map(|i| i.path.as_str()), Some("a::b::f"));
+        assert_eq!(
+            find("score").map(|i| i.path.as_str()),
+            Some("pper_simil::score")
+        );
+    }
+
+    #[test]
+    fn trait_method_declarations_are_not_defs() {
+        let src = "trait T { fn decl(&self); fn dflt(&self) { body_call(); } }";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["dflt"]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_masked() {
+        let src = "fn prod() {} #[cfg(test)] mod t { fn helper() { prod(); } }";
+        let p = parse(src);
+        let helper = p.fns.iter().find(|f| f.name == "helper").expect("helper");
+        assert!(helper.masked);
+        assert!(
+            !p.fns
+                .iter()
+                .find(|f| f.name == "prod")
+                .expect("prod")
+                .masked
+        );
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        for src in [
+            "fn f( {",
+            "impl {{{",
+            "use ::{{{",
+            "fn f<T>(x: T) where {",
+            "fn",
+            "impl<",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! The project-invariant rules (D1–D4) over the lexed token stream.
+//! The project-invariant rules (D1–D5, U1, C1) over the lexed token
+//! stream.
 //!
 //! | id          | invariant                                                        |
 //! |-------------|------------------------------------------------------------------|
@@ -13,6 +14,17 @@
 //! | `direct_fs` | D5: no direct `std::fs` / `File::` / `OpenOptions::` access in   |
 //! |             | the out-of-core crates — file I/O must route through the         |
 //! |             | fault-injectable `pper_vfs::Vfs` seam                            |
+//! |`safety_comment`| U1: every `unsafe` block/fn/impl carries a `// SAFETY:`       |
+//! |             | justification (see [`crate::safety`])                            |
+//! | `lossy_cast`| C1: no bare `as` integer casts in codec/framing code             |
+//! |             | (`journal`, `store`, `extsort.rs` — see [`crate::casts`])        |
+//!
+//! Each rule detects *sinks* on every non-exempt file; whether a sink
+//! becomes a diagnostic is decided by scope. The legacy file/crate scoping
+//! above is applied by [`lint_source`]; the whole-workspace analysis in
+//! [`crate::analysis`] additionally promotes sinks inside functions that
+//! are *reachable* from a deterministic entry point (see [`crate::taint`]),
+//! wherever they live.
 //!
 //! Any diagnostic can be suppressed with a `// lint:allow(<rule>) <reason>`
 //! comment on the same line or in the comment block directly above it; the
@@ -21,7 +33,8 @@
 //! `examples/`, or `benches/` are exempt — the invariants protect the
 //! production execution paths.
 
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use crate::parser::{depth_delta, is_ident, is_path_sep, is_punct};
 
 /// Crates whose emit-visible paths must be iteration-order deterministic
 /// (rule D1). Directory names under `crates/`.
@@ -106,6 +119,8 @@ pub const RULE_IDS: &[&str] = &[
     "relaxed",
     "panic_path",
     "direct_fs",
+    "safety_comment",
+    "lossy_cast",
 ];
 
 /// One finding, ready to render as `file:line: [rule] message`.
@@ -127,16 +142,16 @@ impl Diagnostic {
 }
 
 /// Where a file sits in the workspace, as far as rule scoping cares.
-struct FileScope {
+pub(crate) struct FileScope {
     /// Directory name under `crates/` (or the top-level directory).
-    crate_dir: String,
+    pub(crate) crate_dir: String,
     /// Final file name.
-    file_name: String,
+    pub(crate) file_name: String,
     /// True for `tests/`, `examples/`, `benches/`, and fixture trees.
-    exempt: bool,
+    pub(crate) exempt: bool,
 }
 
-fn classify(path: &str) -> FileScope {
+pub(crate) fn classify(path: &str) -> FileScope {
     let norm = path.replace('\\', "/");
     let components: Vec<&str> = norm.split('/').filter(|c| !c.is_empty()).collect();
     let crate_dir = components
@@ -161,48 +176,118 @@ fn classify(path: &str) -> FileScope {
     }
 }
 
-/// Lint one file's source. `path` is used both for scoping decisions and
-/// verbatim in the emitted diagnostics.
-pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let scope = classify(path);
-    if scope.exempt {
-        return Vec::new();
-    }
-    let lexed = lex(src);
-    let mask = cfg_test_mask(&lexed.tokens);
-    let mut raw: Vec<Diagnostic> = Vec::new();
+/// One detected sink plus its scope verdicts. The detectors run on every
+/// non-exempt file; `legacy` says whether the historical file/crate scoping
+/// fires it, `reach` whether the call-graph analysis may promote it when
+/// its enclosing function is reachable from a deterministic entry point.
+pub(crate) struct Sink {
+    pub(crate) diag: Diagnostic,
+    pub(crate) legacy: bool,
+    pub(crate) reach: bool,
+}
 
-    if D1_CRATES.contains(&scope.crate_dir.as_str()) {
-        rule_hash_iter(path, &lexed.tokens, &mask, &mut raw);
+/// Run every rule's sink detector over one lexed file.
+pub(crate) fn collect_sinks(
+    path: &str,
+    lexed: &LexedFile,
+    mask: &[bool],
+    scope: &FileScope,
+) -> Vec<Sink> {
+    let tokens = &lexed.tokens;
+    let mut sinks: Vec<Sink> = Vec::new();
+    let mut stage = |raw: Vec<Diagnostic>, legacy: bool, reach: bool| {
+        sinks.extend(raw.into_iter().map(|diag| Sink {
+            diag,
+            legacy,
+            reach,
+        }));
+    };
+
+    let mut raw = Vec::new();
+    rule_hash_iter(path, tokens, mask, &mut raw);
+    stage(raw, D1_CRATES.contains(&scope.crate_dir.as_str()), true);
+
+    // The bench/datagen crates measure and generate — wall-clock use is
+    // their purpose, so they are exempt outright. `cost.rs` is only exempt
+    // from the *file* scoping: a clock read there that is reachable from a
+    // deterministic entry point is still a determinism bug.
+    if scope.crate_dir != "bench" && scope.crate_dir != "datagen" {
+        let mut raw = Vec::new();
+        rule_wall_clock(path, tokens, mask, &mut raw);
+        stage(raw, scope.file_name != "cost.rs", true);
     }
-    let d2_exempt =
-        scope.crate_dir == "bench" || scope.crate_dir == "datagen" || scope.file_name == "cost.rs";
-    if !d2_exempt {
-        rule_wall_clock(path, &lexed.tokens, &mask, &mut raw);
-    }
-    rule_relaxed(path, &lexed.tokens, &mask, &mut raw);
+
+    let mut raw = Vec::new();
+    rule_relaxed(path, tokens, mask, &mut raw);
+    stage(raw, true, true);
+
     // D4 guards the mapreduce hot paths and the whole journal crate: a
     // panic while appending or recovering a job log turns a recoverable
-    // I/O hiccup into lost durability.
+    // I/O hiccup into lost durability. Elsewhere a panic only matters if
+    // a deterministic entry point can actually reach it.
     let d4_scope = (scope.crate_dir == "mapreduce" && D4_FILES.contains(&scope.file_name.as_str()))
         || scope.crate_dir == "journal";
-    if d4_scope {
-        rule_panic_path(path, &lexed.tokens, &mask, &mut raw);
-    }
+    let mut raw = Vec::new();
+    rule_panic_path(path, tokens, mask, &mut raw);
+    stage(raw, d4_scope, true);
+
     // D5 guards the out-of-core path: any file access that bypasses the
     // Vfs seam is invisible to fault injection, so the chaos conformance
-    // sweep would silently stop covering it.
-    let d5_scope = D5_CRATES.contains(&scope.crate_dir.as_str())
-        || (scope.crate_dir == "mapreduce" && D5_FILES.contains(&scope.file_name.as_str()));
-    if d5_scope {
-        rule_direct_fs(path, &lexed.tokens, &mask, &mut raw);
+    // sweep would silently stop covering it. The vfs crate IS the seam —
+    // its own `std::fs` calls are the implementation, never a bypass.
+    if scope.crate_dir != "vfs" {
+        let d5_scope = D5_CRATES.contains(&scope.crate_dir.as_str())
+            || (scope.crate_dir == "mapreduce" && D5_FILES.contains(&scope.file_name.as_str()));
+        let mut raw = Vec::new();
+        rule_direct_fs(path, tokens, mask, &mut raw);
+        stage(raw, d5_scope, true);
     }
 
-    // Apply the allowlist, then validate the annotations themselves.
-    let mut out: Vec<Diagnostic> = raw
-        .into_iter()
-        .filter(|d| !lexed.allows_covering(d.line).any(|a| a.rule == d.rule))
-        .collect();
+    // U1 applies everywhere: unsafety is audited wherever it lives.
+    let mut raw = Vec::new();
+    crate::safety::rule_safety_comment(path, tokens, mask, lexed, &mut raw);
+    stage(raw, true, false);
+
+    // C1 is a codec-locality rule, not a reachability one: the danger is
+    // the serialized artifact, so only the framing/codec code is in scope.
+    let c1_scope = scope.crate_dir == "journal"
+        || scope.crate_dir == "store"
+        || (scope.crate_dir == "mapreduce" && scope.file_name == "extsort.rs");
+    if c1_scope {
+        let mut raw = Vec::new();
+        crate::casts::rule_lossy_cast(path, tokens, mask, &mut raw);
+        stage(raw, true, false);
+    }
+
+    sinks
+}
+
+/// Apply the `lint:allow` layer to raw diagnostics: drop suppressed ones,
+/// validate the annotations themselves (`allow_unknown`/`allow_reason`),
+/// and — when `check_dead` — report valid annotations that suppressed
+/// nothing as `dead_allow`.
+pub(crate) fn apply_allows(
+    path: &str,
+    lexed: &LexedFile,
+    raw: Vec<Diagnostic>,
+    check_dead: bool,
+) -> Vec<Diagnostic> {
+    // Allows are identified by (line, rule): two annotations for the same
+    // rule on the same line are indistinguishable and equally used.
+    let mut used: Vec<(usize, &str)> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        for a in lexed.allows_covering(d.line) {
+            if a.rule == d.rule {
+                suppressed = true;
+                used.push((a.line, a.rule.as_str()));
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
     for a in &lexed.allows {
         if !RULE_IDS.contains(&a.rule.as_str()) {
             out.push(Diagnostic {
@@ -225,6 +310,17 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                     a.rule
                 ),
             });
+        } else if check_dead && !used.contains(&(a.line, a.rule.as_str())) {
+            out.push(Diagnostic {
+                file: path.to_string(),
+                line: a.line,
+                rule: "dead_allow".into(),
+                message: format!(
+                    "lint:allow({}) suppresses nothing on the code it covers; \
+                     remove the stale annotation",
+                    a.rule
+                ),
+            });
         }
     }
     out.sort();
@@ -232,31 +328,27 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     out
 }
 
+/// Lint one file's source under the legacy single-file scoping. `path` is
+/// used both for scoping decisions and verbatim in the emitted
+/// diagnostics. The whole-workspace, call-graph-aware analysis lives in
+/// [`crate::analysis::analyze`].
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let scope = classify(path);
+    if scope.exempt {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let mask = cfg_test_mask(&lexed.tokens);
+    let raw: Vec<Diagnostic> = collect_sinks(path, &lexed, &mask, &scope)
+        .into_iter()
+        .filter(|s| s.legacy)
+        .map(|s| s.diag)
+        .collect();
+    apply_allows(path, &lexed, raw, false)
+}
+
 // ---------------------------------------------------------------------------
-// token helpers
-
-fn is_ident(t: &Token, s: &str) -> bool {
-    t.kind == TokenKind::Ident && t.text == s
-}
-
-fn is_punct(t: &Token, c: char) -> bool {
-    t.kind == TokenKind::Punct && t.text.as_bytes() == [c as u8]
-}
-
-fn is_path_sep(tokens: &[Token], i: usize) -> bool {
-    i + 1 < tokens.len() && is_punct(&tokens[i], ':') && is_punct(&tokens[i + 1], ':')
-}
-
-fn depth_delta(t: &Token) -> i32 {
-    if t.kind != TokenKind::Punct {
-        return 0;
-    }
-    match t.text.as_bytes().first() {
-        Some(b'(' | b'[' | b'{') => 1,
-        Some(b')' | b']' | b'}') => -1,
-        _ => 0,
-    }
-}
+// token helpers (the shared ones live in crate::parser)
 
 /// Index one past the end of the statement starting at `from`: the next
 /// `;` at relative depth 0, a `{` opening a block at depth 0, or the point
@@ -278,7 +370,7 @@ fn statement_end(tokens: &[Token], from: usize) -> usize {
 
 /// Mark every token inside a `#[cfg(test)]`-gated item (attributes
 /// included) so the rules skip test code.
-fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i + 6 < tokens.len() {

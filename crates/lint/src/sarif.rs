@@ -1,0 +1,205 @@
+//! SARIF 2.1.0 emitter for `--format sarif`.
+//!
+//! Emits the minimal static-analysis interchange document GitHub code
+//! scanning ingests: one `run` with a `tool.driver` describing every rule
+//! and one `result` per diagnostic. The structure is validated offline by
+//! a self-test that re-parses the output with [`crate::json`] and checks
+//! the fields the SARIF 2.1.0 schema marks required.
+
+use crate::rules::{Diagnostic, RULE_IDS};
+
+/// Short human description per rule id, embedded in the tool metadata.
+pub fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "hash_iter" => "iteration over HashMap/HashSet in order-sensitive pipeline code",
+        "wall_clock" => "wall-clock time source in deterministic pipeline code",
+        "relaxed" => "non-SeqCst atomic ordering",
+        "panic_path" => "panic path (unwrap/expect/panic!) in runtime or recovery code",
+        "direct_fs" => "direct std::fs call bypassing the storage VFS",
+        "safety_comment" => "unsafe item or block without a SAFETY justification",
+        "lossy_cast" => "bare `as` integer cast in codec/framing code",
+        "allow_unknown" => "lint:allow naming an unknown rule",
+        "allow_reason" => "lint:allow without a reason",
+        "dead_allow" => "lint:allow that suppresses nothing",
+        "baseline_stale" => "baseline entry that no longer matches any diagnostic",
+        _ => "pper determinism lint",
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render diagnostics as a SARIF 2.1.0 document.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"pper-lint\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/pper-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    // Advertise every rule the driver knows plus the meta-rules that can
+    // appear in results, so each result's ruleId resolves.
+    let meta_rules = [
+        "allow_unknown",
+        "allow_reason",
+        "dead_allow",
+        "baseline_stale",
+    ];
+    let all: Vec<&str> = RULE_IDS.iter().copied().chain(meta_rules).collect();
+    for (i, rule) in all.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            esc(rule),
+            esc(rule_description(rule)),
+            if i + 1 < all.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": \"{}\",\n", esc(&d.rule)));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{\"text\": \"{}\"}},\n",
+            esc(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{\"uri\": \"{}\"}},\n",
+            esc(&d.file.replace('\\', "/"))
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{\"startLine\": {}}}\n",
+            d.line.max(1)
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(&format!(
+            "        }}{}\n",
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                rule: "relaxed".into(),
+                message: "non-SeqCst \"ordering\"\nsecond line".into(),
+            },
+            Diagnostic {
+                file: "src\\main.rs".into(),
+                line: 0,
+                rule: "wall_clock".into(),
+                message: "Instant::now".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn emits_required_sarif_210_structure() {
+        let doc = json::parse(&to_sarif(&sample())).expect("sarif must be valid JSON");
+        assert_eq!(doc.get("version").and_then(Value::as_str), Some("2.1.0"));
+        assert!(doc
+            .get("$schema")
+            .and_then(Value::as_str)
+            .is_some_and(|s| s.contains("sarif-schema-2.1.0")));
+        let runs = doc.get("runs").and_then(Value::as_arr).expect("runs");
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("driver");
+        assert_eq!(
+            driver.get("name").and_then(Value::as_str),
+            Some("pper-lint")
+        );
+        let rules = driver.get("rules").and_then(Value::as_arr).expect("rules");
+        assert!(rules.len() >= RULE_IDS.len());
+        for r in rules {
+            assert!(r.get("id").and_then(Value::as_str).is_some());
+            assert!(r
+                .get("shortDescription")
+                .and_then(|d| d.get("text"))
+                .and_then(Value::as_str)
+                .is_some());
+        }
+        let results = runs[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .expect("results");
+        assert_eq!(results.len(), 2);
+        let rule_ids: Vec<&str> = rules
+            .iter()
+            .filter_map(|r| r.get("id").and_then(Value::as_str))
+            .collect();
+        for res in results {
+            let rid = res.get("ruleId").and_then(Value::as_str).expect("ruleId");
+            assert!(rule_ids.contains(&rid), "result ruleId {rid} not declared");
+            assert_eq!(res.get("level").and_then(Value::as_str), Some("error"));
+            assert!(res
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Value::as_str)
+                .is_some());
+            let loc = &res
+                .get("locations")
+                .and_then(Value::as_arr)
+                .expect("locations")[0];
+            let phys = loc.get("physicalLocation").expect("physicalLocation");
+            let uri = phys
+                .get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str)
+                .expect("uri");
+            assert!(!uri.contains('\\'), "SARIF uris use forward slashes");
+            let line = phys
+                .get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Value::as_num)
+                .expect("startLine");
+            assert!(line >= 1.0, "startLine must be >= 1, got {line}");
+        }
+    }
+
+    #[test]
+    fn empty_run_is_still_valid() {
+        let doc = json::parse(&to_sarif(&[])).expect("valid");
+        let runs = doc.get("runs").and_then(Value::as_arr).expect("runs");
+        assert_eq!(
+            runs[0]
+                .get("results")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/journal/src/fixture.rs
+//! C1 `lossy_cast` negatives: checked conversions and audited allows are
+//! both clean.
+
+fn encode(payload: &[u8], out: &mut Vec<u8>) -> Result<(), String> {
+    let len = u32::try_from(payload.len()).map_err(|_| "payload too long".to_string())?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+fn bucket(word: u64) -> usize {
+    // lint:allow(lossy_cast) fixture: masked to 8 bits right here, cannot truncate
+    (word & 0xFF) as usize
+}

@@ -1,0 +1,13 @@
+//@ path: crates/journal/src/fixture.rs
+//! C1 `lossy_cast` positives: integer `as` casts in codec/framing code can
+//! silently truncate; each one must be reported.
+
+fn encode(payload: &[u8], out: &mut Vec<u8>) {
+    let len = payload.len() as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn decode_len(word: u64) -> usize {
+    word as usize
+}

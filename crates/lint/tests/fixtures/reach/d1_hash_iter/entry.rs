@@ -1,0 +1,12 @@
+//@ path: crates/er-core/src/job.rs
+//! D1 multi-hop entry: a Reducer body two calls above a hash-order
+//! iteration that legacy scoping never sees (the sink lives in `simil`).
+use pper_simil::score_all;
+
+struct Dedup;
+
+impl Reducer for Dedup {
+    fn reduce(&self) {
+        score_all();
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/simil/src/batch.rs
+//! D1 multi-hop sink: `simil` is outside the legacy hash_iter crates, so
+//! only the call-graph analysis can connect this to reducer output.
+use std::collections::HashMap;
+
+pub fn score_all() {
+    tally();
+}
+
+fn tally() {
+    let m: HashMap<String, u64> = HashMap::new();
+    for k in m.keys() {
+        emit(k);
+    }
+}

@@ -1,0 +1,8 @@
+//@ path: crates/mapreduce/src/shuffle.rs
+//! D2 multi-hop entry: a shuffle builder (deterministic entry point) two
+//! calls above a wall-clock read in the legacy-exempt `cost.rs`.
+use crate::cost::estimate;
+
+pub fn shuffle_partitions() {
+    estimate();
+}

@@ -1,0 +1,11 @@
+//@ path: crates/mapreduce/src/runtime.rs
+//! D3 multi-hop entry: an Executor body two calls above a relaxed atomic.
+//! Legacy scoping flags the sink too, but only the call-graph analysis
+//! names the entry point in the diagnostic.
+struct Pool;
+
+impl Executor for Pool {
+    fn run(&self) {
+        drain();
+    }
+}

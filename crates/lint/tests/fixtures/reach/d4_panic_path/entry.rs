@@ -1,0 +1,10 @@
+//@ path: crates/er-core/src/tasks.rs
+//! D4 multi-hop entry: a Mapper body two calls above an unwrap in a file
+//! the legacy hot-path list never covered.
+struct Tok;
+
+impl Mapper for Tok {
+    fn map(&self) {
+        normalize();
+    }
+}

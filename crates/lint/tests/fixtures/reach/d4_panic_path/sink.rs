@@ -1,0 +1,10 @@
+//@ path: crates/er-core/src/norm.rs
+//! D4 multi-hop sink: `er-core` is outside the legacy panic_path scope,
+//! so only reachability from the mapper reports this unwrap.
+pub fn normalize() {
+    strip();
+}
+
+fn strip() {
+    let _v = parts().first().unwrap();
+}

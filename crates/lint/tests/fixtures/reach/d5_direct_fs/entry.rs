@@ -1,0 +1,10 @@
+//@ path: crates/schedule/src/exec.rs
+//! D5 multi-hop entry: an Executor body two calls above a direct `std::fs`
+//! write in a crate the legacy VFS scope never covered.
+struct Local;
+
+impl Executor for Local {
+    fn run(&self) {
+        persist();
+    }
+}

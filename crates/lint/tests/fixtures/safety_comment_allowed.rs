@@ -1,0 +1,18 @@
+//@ path: crates/vfs/src/fixture.rs
+//! U1 `safety_comment` negatives: every unsafe construct carries a
+//! `// SAFETY:` justification, so the file is clean.
+
+struct Wrapper(*mut u8);
+
+// SAFETY: the caller guarantees `p` is valid for reads (fixture contract).
+unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}
+
+fn caller(p: *const u8) -> u8 {
+    // SAFETY: `p` comes straight from the caller's contract above.
+    unsafe { raw_read(p) }
+}
+
+// SAFETY: the raw pointer is only dereferenced behind &mut self (fixture).
+unsafe impl Send for Wrapper {}

@@ -1,0 +1,15 @@
+//@ path: crates/vfs/src/fixture.rs
+//! U1 `safety_comment` positives: unsafe blocks, fns, and impls without a
+//! `// SAFETY:` justification must be reported.
+
+struct Wrapper(*mut u8);
+
+unsafe fn raw_read(p: *const u8) -> u8 {
+    *p
+}
+
+fn caller(p: *const u8) -> u8 {
+    unsafe { raw_read(p) }
+}
+
+unsafe impl Send for Wrapper {}

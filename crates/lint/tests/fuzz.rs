@@ -1,0 +1,92 @@
+//! Fuzz properties for the linter front end: whatever bytes the lexer,
+//! parser, and whole-workspace analysis are fed — arbitrary garbage or
+//! mutated copies of the linter's own sources — they must return
+//! diagnostics, never panic. A panic here would turn a malformed source
+//! file into a broken CI gate instead of a report.
+
+use pper_lint::{analyze, lint_source, Options, SourceFile};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Paths that exercise every scoping branch: legacy-rule crates, exempt
+/// files, the VFS seam, and codec/framing files.
+const SCOPES: [&str; 6] = [
+    "crates/mapreduce/src/runtime.rs",
+    "crates/journal/src/frame.rs",
+    "crates/store/src/lib.rs",
+    "crates/vfs/src/file.rs",
+    "crates/simil/src/batch.rs",
+    "crates/er-core/tests/it.rs",
+];
+
+/// Run every analysis depth over one in-memory workspace.
+fn exercise(files: Vec<SourceFile>) {
+    for f in &files {
+        lint_source(&f.path, &f.src);
+    }
+    analyze(&files, &Options::default());
+    analyze(
+        &files,
+        &Options {
+            reachability: false,
+            check_allows: true,
+        },
+    );
+}
+
+/// Real workspace material to mutate: the linter's own sources, which use
+/// every construct the parser knows about.
+fn corpus() -> Vec<&'static str> {
+    vec![
+        include_str!("../src/rules.rs"),
+        include_str!("../src/parser.rs"),
+        include_str!("../src/taint.rs"),
+        include_str!("../src/analysis.rs"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in vec(0u8..=255, 0..768),
+        scope_a in 0usize..6,
+        scope_b in 0usize..6,
+    ) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let files = vec![
+            SourceFile { path: SCOPES[scope_a].to_string(), src: src.clone() },
+            SourceFile { path: SCOPES[scope_b].to_string(), src },
+        ];
+        exercise(files);
+    }
+
+    #[test]
+    fn mutated_workspace_sources_never_panic(
+        pick in 0usize..4,
+        cut in 0usize..60_000,
+        splice in vec(0u8..=255, 0..64),
+        at in 0usize..60_000,
+    ) {
+        let base = corpus()[pick];
+        // Truncate at an arbitrary char boundary, then splice raw bytes in
+        // (lossily re-decoded): torn files and junk edits, the two ways a
+        // source tree goes bad mid-write.
+        let cut = base
+            .char_indices()
+            .map(|(i, _)| i)
+            .take_while(|&i| i <= cut)
+            .last()
+            .unwrap_or(0);
+        let mut bytes = base.as_bytes()[..cut].to_vec();
+        let at = at.min(bytes.len());
+        bytes.splice(at..at, splice);
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let files = vec![
+            SourceFile { path: "crates/mapreduce/src/exec.rs".to_string(), src: src.clone() },
+            SourceFile { path: "crates/simil/src/mutated.rs".to_string(), src },
+        ];
+        exercise(files);
+    }
+}

@@ -1,16 +1,36 @@
 //! The linter's strongest test is the workspace itself: `cargo test` fails
 //! the moment anyone introduces an unsuppressed hash-order iteration,
-//! wall-clock read, bare `Ordering::Relaxed`, or hot-path panic — no CI
-//! wiring required.
+//! wall-clock read, bare `Ordering::Relaxed`, hot-path panic, bypassed VFS
+//! seam, unjustified `unsafe`, or truncating codec cast — including sinks
+//! that only matter because the call graph makes them *reachable* from a
+//! deterministic entry point. Dead `lint:allow` annotations fail too, so
+//! suppressions cannot outlive the code they excused. No CI wiring
+//! required.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use pper_lint::lint_tree;
+use pper_lint::{analyze_tree, Options};
 
 #[test]
 fn workspace_has_no_unsuppressed_diagnostics() {
-    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
-    let diags = lint_tree(&[crates]);
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let roots: Vec<PathBuf> = ["crates", "src"]
+        .iter()
+        .map(|d| root.join(d))
+        .filter(|p| p.is_dir())
+        .collect();
+    assert!(
+        !roots.is_empty(),
+        "no source roots under {}",
+        root.display()
+    );
+    let diags = analyze_tree(
+        &roots,
+        &Options {
+            reachability: true,
+            check_allows: true,
+        },
+    );
     assert!(
         diags.is_empty(),
         "pper-lint found {} unsuppressed diagnostic(s) in the workspace \

@@ -224,10 +224,11 @@ impl<T: SpillCodec + Ord> ExternalSorter<T> {
             }
             Ok(())
         });
-        self.io_retries += stats.retries as u64;
+        self.io_retries += u64::from(stats.retries);
         self.backoff_units += stats.backoff_units;
         match result {
             Ok(()) => {
+                // lint:allow(lossy_cast) usize -> u64 is a lossless widening on all supported targets
                 self.spilled_bytes += encoded.len() as u64;
                 self.runs.push(SpilledRun {
                     path,
@@ -314,7 +315,10 @@ impl RunReader {
         self.reader
             .read_exact(&mut header)
             .map_err(|e| self.read_fault("run frame header", e))?;
-        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let len32 = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let Ok(len) = usize::try_from(len32) else {
+            return Err(self.quarantine());
+        };
         let expected_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
         let mut payload = vec![0u8; len];
         self.reader

@@ -146,12 +146,7 @@ impl Buckets {
                 total += node.cost;
             }
         }
-        sl.sort_by(|a, b| {
-            b.2.partial_cmp(&a.2)
-                .unwrap()
-                .then(a.0.cmp(&b.0))
-                .then(a.1.cmp(&b.1))
-        });
+        sl.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
 
         let share = match spec {
             CostVectorSpec::FullRun => (total / r.max(1) as f64).max(f64::MIN_POSITIVE),
@@ -245,7 +240,7 @@ fn split_overflowed_trees(
             return;
         }
         // Split the worst offenders first, b per round.
-        overflowed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        overflowed.sort_by(|a, b| b.1.total_cmp(&a.1));
         let batch: Vec<usize> = overflowed
             .iter()
             .take(cfg.split_batch.max(1))
@@ -273,12 +268,7 @@ fn split_tree(
 ) -> bool {
     let root_bucket = buckets.of_block[&(t, 0)];
     let mut children: Vec<usize> = trees[t].nodes[0].children.clone();
-    children.sort_by(|&a, &b| {
-        trees[t].nodes[b]
-            .util
-            .partial_cmp(&trees[t].nodes[a].util)
-            .unwrap()
-    });
+    children.sort_by(|&a, &b| trees[t].nodes[b].util.total_cmp(&trees[t].nodes[a].util));
 
     let mut kept: Vec<usize> = Vec::new(); // the set E
     let mut kept_vc = vec![0.0; cfg.num_buckets];
@@ -375,13 +365,13 @@ fn partition_trees(trees: &[PlanTree], cfg: &ScheduleConfig) -> Vec<usize> {
     let mut order: Vec<usize> = (0..trees.len()).collect();
     let weighted_cost =
         |t: usize| -> f64 { vcs[t].iter().zip(&weights).map(|(&v, &w)| v * w).sum() };
-    order.sort_by(|&a, &b| weighted_cost(b).partial_cmp(&weighted_cost(a)).unwrap());
+    order.sort_by(|&a, &b| weighted_cost(b).total_cmp(&weighted_cost(a)));
 
     let mut load = vec![vec![0.0; cfg.num_buckets]; cfg.reduce_tasks];
     let mut assignment = vec![0usize; trees.len()];
     for t in order {
         // SK(R) = Σ_h δ_h · W(c_h) · (width_h − load_R[h]).
-        let (best, _) = (0..cfg.reduce_tasks)
+        let best = (0..cfg.reduce_tasks)
             .map(|r| {
                 let slack: f64 = (0..cfg.num_buckets)
                     .filter(|&h| vcs[t][h] > 0.0)
@@ -389,8 +379,8 @@ fn partition_trees(trees: &[PlanTree], cfg: &ScheduleConfig) -> Vec<usize> {
                     .sum();
                 (r, slack)
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("at least one reduce task");
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map_or(0, |(r, _)| r);
         assignment[t] = best;
         for h in 0..cfg.num_buckets {
             load[best][h] += vcs[t][h];
@@ -403,20 +393,15 @@ fn partition_trees(trees: &[PlanTree], cfg: &ScheduleConfig) -> Vec<usize> {
 /// task.
 fn partition_lpt(trees: &[PlanTree], reduce_tasks: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..trees.len()).collect();
-    order.sort_by(|&a, &b| {
-        trees[b]
-            .total_cost()
-            .partial_cmp(&trees[a].total_cost())
-            .unwrap()
-    });
+    order.sort_by(|&a, &b| trees[b].total_cost().total_cmp(&trees[a].total_cost()));
     let mut load = vec![0.0f64; reduce_tasks.max(1)];
     let mut assignment = vec![0usize; trees.len()];
     for t in order {
-        let (best, _) = load
+        let best = load
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .expect("at least one reduce task");
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map_or(0, |(r, _)| r);
         assignment[t] = best;
         load[best] += trees[t].total_cost();
     }
@@ -476,8 +461,7 @@ fn sort_blocks(trees: &[PlanTree], task_trees: &[usize]) -> Vec<BlockRef> {
     all.sort_by(|a, b| {
         let ua = trees[a.tree].nodes[a.node].util;
         let ub = trees[b.tree].nodes[b.node].util;
-        ub.partial_cmp(&ua)
-            .unwrap()
+        ub.total_cmp(&ua)
             .then(a.tree.cmp(&b.tree))
             .then(a.node.cmp(&b.node))
     });
@@ -504,8 +488,7 @@ fn emit_with_descendants(
     children.sort_by(|&x, &y| {
         trees[b.tree].nodes[y]
             .util
-            .partial_cmp(&trees[b.tree].nodes[x].util)
-            .unwrap()
+            .total_cmp(&trees[b.tree].nodes[x].util)
     });
     for c in children {
         emit_with_descendants(

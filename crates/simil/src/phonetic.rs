@@ -44,7 +44,9 @@ pub fn soundex(s: &str) -> String {
     while code.len() < 4 {
         code.push(b'0');
     }
-    String::from_utf8(code).expect("ascii code")
+    // The code bytes are ASCII by construction (letters and digit pushes
+    // above), so the lossy conversion never actually substitutes.
+    String::from_utf8_lossy(&code).into_owned()
 }
 
 /// 1.0 if the Soundex codes agree, else 0.0 — a cheap phonetic-equality

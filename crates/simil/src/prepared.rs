@@ -494,6 +494,7 @@ impl<K: Eq + Hash + Clone> PreparedCache<K> {
     /// # Panics
     /// Panics if `key` was never [`ensure`](Self::ensure)d.
     pub fn get(&self, key: &K) -> &PreparedEntity {
+        // lint:allow(panic_path) documented panicking accessor (see # Panics); misuse is a caller bug, not a runtime fault
         self.map.get(key).expect("entity not prepared")
     }
 
@@ -507,11 +508,12 @@ impl<K: Eq + Hash + Clone> PreparedCache<K> {
     ) -> bool {
         self.ensure(rule, a.0.clone(), a.1);
         self.ensure(rule, b.0.clone(), b.1);
-        rule.matches(
-            self.map.get(&a.0).unwrap(),
-            self.map.get(&b.0).unwrap(),
-            scratch,
-        )
+        // Both keys were just ensured; the unreachable miss arm returns a
+        // non-match instead of panicking on an internal bug.
+        let (Some(pa), Some(pb)) = (self.map.get(&a.0), self.map.get(&b.0)) else {
+            return false;
+        };
+        rule.matches(pa, pb, scratch)
     }
 }
 

@@ -166,9 +166,10 @@ impl StoreBuilder {
         with_labels: bool,
     ) -> Result<Self, StoreError> {
         let path = path.into();
-        if num_attrs == 0 || num_attrs > u32::MAX as usize {
-            return Err(format_err(format!("invalid attribute count {num_attrs}")));
-        }
+        let num_attrs_u32 = match u32::try_from(num_attrs) {
+            Ok(n) if n > 0 => n,
+            _ => return Err(format_err(format!("invalid attribute count {num_attrs}"))),
+        };
         let staging_path = sidecar(&path, "building");
         let offsets_path = sidecar(&path, "offsets.tmp");
         let labels_path = sidecar(&path, "labels.tmp");
@@ -196,7 +197,7 @@ impl StoreBuilder {
             staging_path,
             offsets_path,
             labels_path,
-            num_attrs: num_attrs as u32,
+            num_attrs: num_attrs_u32,
             count: 0,
             arena_len: 0,
             crc: Crc32::new(),
@@ -221,7 +222,7 @@ impl StoreBuilder {
         attrs: &[S],
         label: Option<u32>,
     ) -> Result<(), StoreError> {
-        if attrs.len() != self.num_attrs as usize {
+        if u32::try_from(attrs.len()) != Ok(self.num_attrs) {
             return Err(format_err(format!(
                 "entity has {} attributes, store declares {}",
                 attrs.len(),
@@ -246,7 +247,7 @@ impl StoreBuilder {
                 .write_all(bytes)
                 .map_err(fault_err(IoOp::Write, &self.staging_path))?;
             self.crc.update(bytes);
-            self.arena_len += bytes.len() as u64;
+            self.arena_len += off(bytes.len());
             offsets
                 .write_all(&self.arena_len.to_le_bytes())
                 .map_err(fault_err(IoOp::Write, &self.offsets_path))?;
@@ -468,7 +469,7 @@ impl EntityStore {
         if version != VERSION {
             return Err(format_err(format!("unsupported version {version}")));
         }
-        let num_attrs = read_u32(bytes, 12) as usize;
+        let num_attrs = ix(u64::from(read_u32(bytes, 12)));
         let num_entities = read_u64(bytes, 16);
         let arena_len = read_u64(bytes, 24);
         let has_labels = bytes[32] != 0;
@@ -477,13 +478,13 @@ impl EntityStore {
             return Err(format_err("zero attribute count"));
         }
         let num_offsets = num_entities
-            .checked_mul(num_attrs as u64)
+            .checked_mul(off(num_attrs))
             .and_then(|v| v.checked_add(1))
             .ok_or_else(|| format_err("entity count overflows offset index"))?;
-        let offsets_pos = HEADER_LEN as u64 + arena_len;
+        let offsets_pos = off(HEADER_LEN) + arena_len;
         let labels_pos = offsets_pos + num_offsets * 8;
         let expected = labels_pos + if has_labels { num_entities * 4 } else { 0 };
-        if bytes.len() as u64 != expected {
+        if off(bytes.len()) != expected {
             return Err(format_err(format!(
                 "file is {} bytes, header implies {expected}",
                 bytes.len()
@@ -492,8 +493,8 @@ impl EntityStore {
         let store = Self {
             num_attrs,
             num_entities,
-            offsets_pos: offsets_pos as usize,
-            labels_pos: has_labels.then_some(labels_pos as usize),
+            offsets_pos: ix(offsets_pos),
+            labels_pos: has_labels.then(|| ix(labels_pos)),
             crc,
             mmap_degraded,
             source: source.to_path_buf(),
@@ -501,7 +502,7 @@ impl EntityStore {
         };
         // Structural sanity on the index bounds: the final offset must
         // close the arena exactly. Interior offsets are checked per access.
-        if store.offset(num_offsets as usize - 1) != arena_len {
+        if store.offset(ix(num_offsets) - 1) != arena_len {
             return Err(format_err("offset index does not close the arena"));
         }
         if verify_crc {
@@ -575,12 +576,12 @@ impl EntityStore {
     pub fn attr_bytes(&self, e: u64, a: usize) -> &[u8] {
         assert!(e < self.num_entities, "entity {e} out of range");
         assert!(a < self.num_attrs, "attribute {a} out of range");
-        let idx = e as usize * self.num_attrs + a;
+        let idx = ix(e) * self.num_attrs + a;
         let start = self.offset(idx);
         let end = self.offset(idx + 1);
         assert!(start <= end, "offset index corrupt at entity {e}");
-        let base = HEADER_LEN as u64;
-        &self.data.bytes()[(base + start) as usize..(base + end) as usize]
+        let base = off(HEADER_LEN);
+        &self.data.bytes()[ix(base + start)..ix(base + end)]
     }
 
     /// Attribute `a` of entity `e` as `&str` (UTF-8 is validated per read;
@@ -610,7 +611,7 @@ impl EntityStore {
     pub fn label(&self, e: u64) -> Option<u32> {
         let pos = self.labels_pos?;
         assert!(e < self.num_entities, "entity {e} out of range");
-        Some(read_u32(self.data.bytes(), pos + e as usize * 4))
+        Some(read_u32(self.data.bytes(), pos + ix(e) * 4))
     }
 }
 
@@ -626,6 +627,23 @@ fn read_u64(bytes: &[u8], pos: usize) -> u64 {
     let mut b = [0u8; 8];
     b.copy_from_slice(&bytes[pos..pos + 8]);
     u64::from_le_bytes(b)
+}
+
+/// `u64` file position/count → `usize` index. Every caller has already
+/// established the value addresses the in-memory file image (which fits
+/// `usize` by construction); debug builds assert it.
+#[inline]
+fn ix(n: u64) -> usize {
+    debug_assert!(usize::try_from(n).is_ok(), "index {n} exceeds usize");
+    // lint:allow(lossy_cast) asserted in range above: value indexes the in-memory file image
+    n as usize
+}
+
+/// `usize` → `u64` file offset: a widening on every supported target.
+#[inline]
+fn off(n: usize) -> u64 {
+    // lint:allow(lossy_cast) usize -> u64 is a lossless widening on all supported targets
+    n as u64
 }
 
 #[cfg(test)]

@@ -56,6 +56,8 @@ pub struct Mmap {
 // owned, so sharing references across threads cannot race.
 #[cfg(target_os = "linux")]
 unsafe impl Send for Mmap {}
+// SAFETY: same argument as Send — the view is read-only for the life of
+// the mapping, so concurrent `&Mmap` access never observes a write.
 #[cfg(target_os = "linux")]
 unsafe impl Sync for Mmap {}
 
